@@ -1,0 +1,353 @@
+package topk
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (Section 7). Shapes to look for, not absolute numbers:
+//
+//	Figure 3  — modeled filter cost falls and validation cost rises in θC
+//	Figure 5  — BK-tree faster than M-tree at every k and θ (NYT-like)
+//	Figure 6  — inverted index (F&V) far below the BK-tree
+//	Figure 7  — coarse query time U-shaped in θC; model pick near optimum
+//	Table 5   — model-chosen θC within a few ms of the empirical best
+//	Figure 8  — NYT-like: Coarse+Drop and F&V+Drop in front, baselines flat
+//	Figure 9  — Yago-like: ListMerge competitive, Minimal F&V near zero
+//	Figure 10 — DFC per query (reported as the "dfc/query" metric)
+//	Table 6   — index construction cost: metric structures ≫ inverted index
+//
+// Run with:  go test -bench=. -benchmem
+// The topkbench CLI prints the same experiments as full tables.
+
+import (
+	"sync"
+	"testing"
+
+	"topk/internal/bench"
+	"topk/internal/costmodel"
+	"topk/internal/metric"
+	"topk/internal/ranking"
+)
+
+// benchScale keeps `go test -bench=.` minutes-scale while preserving the
+// paper's n ratio between the two datasets.
+var benchScale = bench.Scale{NNYT: 20000, NYago: 8000, NumQueries: 200}
+
+var (
+	envOnce sync.Once
+	envNYT  *bench.Env
+	envYago *bench.Env
+
+	suiteOnce sync.Once
+	suiteNYT  *bench.Suite
+	suiteYago *bench.Suite
+)
+
+func envs(b *testing.B) (*bench.Env, *bench.Env) {
+	b.Helper()
+	envOnce.Do(func() {
+		var err error
+		envNYT, envYago, err = bench.Envs(benchScale, 10)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return envNYT, envYago
+}
+
+func suites(b *testing.B) (*bench.Suite, *bench.Suite) {
+	b.Helper()
+	nyt, yago := envs(b)
+	suiteOnce.Do(func() {
+		opts := bench.DefaultSuiteOptions()
+		var err error
+		suiteNYT, err = bench.BuildSuite(nyt, opts)
+		if err != nil {
+			panic(err)
+		}
+		suiteYago, err = bench.BuildSuite(yago, opts)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return suiteNYT, suiteYago
+}
+
+var sinkResults int
+
+// benchWorkload cycles the environment's workload through one algorithm,
+// reporting dfc/query and results/query.
+func benchWorkload(b *testing.B, s *bench.Suite, alg bench.Algorithm, theta float64) {
+	b.Helper()
+	raw := ranking.RawThreshold(theta, s.Env.Cfg.K)
+	ev := metric.New(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := s.Env.Queries[i%len(s.Env.Queries)]
+		res, err := s.Run(alg, q, raw, ev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkResults += len(res)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ev.Calls())/float64(b.N), "dfc/query")
+}
+
+// --- Figure 3 -------------------------------------------------------------
+
+func BenchmarkFigure3CostModelSweep(b *testing.B) {
+	nyt, yago := envs(b)
+	for _, env := range []*bench.Env{nyt, yago} {
+		env := env
+		b.Run(env.Name, func(b *testing.B) {
+			m, err := costmodel.New(len(env.Rankings), 10, env.V, env.ZipfS, env.CDF)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Calibrate(1)
+			grid := costmodel.DefaultGrid(10)
+			raw := ranking.RawThreshold(0.2, 10)
+			for i := 0; i < b.N; i++ {
+				sinkResults += m.OptimalThetaC(raw, grid)
+			}
+		})
+	}
+}
+
+// --- Figures 5 and 6: metric trees vs inverted index ----------------------
+
+func BenchmarkFigure5TreeQueries(b *testing.B) {
+	nyt, _ := envs(b)
+	opts := bench.DefaultSuiteOptions()
+	opts.SkipMinimal = true
+	suite, err := bench.BuildSuite(nyt, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, theta := range []float64{0.05, 0.1, 0.2} {
+		b.Run("BK-tree/theta="+ftoa(theta), func(b *testing.B) {
+			benchWorkload(b, suite, bench.AlgBKTree, theta)
+		})
+		b.Run("M-tree/theta="+ftoa(theta), func(b *testing.B) {
+			benchWorkload(b, suite, bench.AlgMTree, theta)
+		})
+	}
+}
+
+func BenchmarkFigure6BKTreeVsInvertedIndex(b *testing.B) {
+	nyt, _ := envs(b)
+	opts := bench.DefaultSuiteOptions()
+	opts.SkipMinimal = true
+	suite, err := bench.BuildSuite(nyt, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range []bench.Algorithm{bench.AlgBKTree, bench.AlgFV} {
+		b.Run(string(alg), func(b *testing.B) {
+			benchWorkload(b, suite, alg, 0.1)
+		})
+	}
+}
+
+// --- Figure 7 / Table 5: coarse index θC sweep -----------------------------
+
+func BenchmarkFigure7CoarseThetaCSweep(b *testing.B) {
+	nyt, _ := envs(b)
+	for _, thetaC := range []float64{0.05, 0.2, 0.5, 0.7} {
+		thetaC := thetaC
+		b.Run("thetaC="+ftoa(thetaC), func(b *testing.B) {
+			idx, err := NewCoarseIndex(nyt.Rankings, WithThetaC(thetaC))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := idx.Search(nyt.Queries[i%len(nyt.Queries)], 0.2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkResults += len(res)
+			}
+		})
+	}
+}
+
+func BenchmarkTable5ModelChosenThetaC(b *testing.B) {
+	nyt, _ := envs(b)
+	idx, err := NewCoarseIndex(nyt.Rankings, WithAutoTune(0.2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("auto-tuned θC = %.2f", idx.ThetaC())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := idx.Search(nyt.Queries[i%len(nyt.Queries)], 0.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkResults += len(res)
+	}
+}
+
+// --- Figures 8 and 9: the full algorithm matrix ----------------------------
+
+func BenchmarkFigure8NYT(b *testing.B) {
+	nytSuite, _ := suites(b)
+	for _, alg := range bench.AllAlgorithms {
+		for _, theta := range []float64{0, 0.1, 0.2, 0.3} {
+			alg, theta := alg, theta
+			b.Run(string(alg)+"/theta="+ftoa(theta), func(b *testing.B) {
+				benchWorkload(b, nytSuite, alg, theta)
+			})
+		}
+	}
+}
+
+func BenchmarkFigure9Yago(b *testing.B) {
+	_, yagoSuite := suites(b)
+	for _, alg := range bench.AllAlgorithms {
+		for _, theta := range []float64{0, 0.1, 0.2, 0.3} {
+			alg, theta := alg, theta
+			b.Run(string(alg)+"/theta="+ftoa(theta), func(b *testing.B) {
+				benchWorkload(b, yagoSuite, alg, theta)
+			})
+		}
+	}
+}
+
+// --- Figure 10: distance function calls ------------------------------------
+
+func BenchmarkFigure10DistanceFunctionCalls(b *testing.B) {
+	nytSuite, yagoSuite := suites(b)
+	algs := []bench.Algorithm{
+		bench.AlgFV, bench.AlgFVDrop, bench.AlgBlockedPruneDrop,
+		bench.AlgCoarse, bench.AlgCoarseDrop, bench.AlgMinimalFV,
+	}
+	for _, pair := range []struct {
+		name  string
+		suite *bench.Suite
+	}{{"NYT", nytSuite}, {"Yago", yagoSuite}} {
+		for _, alg := range algs {
+			pair, alg := pair, alg
+			b.Run(pair.name+"/"+string(alg), func(b *testing.B) {
+				benchWorkload(b, pair.suite, alg, 0.1)
+			})
+		}
+	}
+}
+
+// --- Table 6: construction cost --------------------------------------------
+
+func BenchmarkTable6Construction(b *testing.B) {
+	nyt, _ := envs(b)
+	rs := nyt.Rankings
+	b.Run("AugmentedInvertedIndex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx, err := NewInvertedIndex(rs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkResults += idx.Len()
+		}
+	})
+	b.Run("BlockedInvertedIndex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx, err := NewBlockedIndex(rs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkResults += idx.Len()
+		}
+	})
+	b.Run("BKTree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx, err := NewMetricTree(rs, BKTree)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkResults += idx.Len()
+		}
+	})
+	b.Run("MTree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx, err := NewMetricTree(rs, MTree)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkResults += idx.Len()
+		}
+	})
+	b.Run("CoarseIndex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx, err := NewCoarseIndex(rs, WithThetaC(0.5))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkResults += idx.Len()
+		}
+	})
+}
+
+// --- Ablations --------------------------------------------------------------
+
+// BenchmarkAblationPartitioner compares the BK-tree cut against the
+// random-medoid clustering inside the coarse index (a design choice
+// DESIGN.md calls out).
+func BenchmarkAblationPartitioner(b *testing.B) {
+	nyt, _ := envs(b)
+	for _, variant := range []struct {
+		name string
+		opts []CoarseOption
+	}{
+		{"BKTreeCut", []CoarseOption{WithThetaC(0.3)}},
+		{"RandomMedoids", []CoarseOption{WithThetaC(0.3), WithRandomMedoids(7)}},
+	} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			idx, err := NewCoarseIndex(nyt.Rankings, variant.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := idx.Search(nyt.Queries[i%len(nyt.Queries)], 0.2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkResults += len(res)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDropMode compares the safe k−ω+1 list dropping against
+// the paper's aggressive k−ω variant (cf. the Lemma 2 boundary note in
+// internal/invindex).
+func BenchmarkAblationDropMode(b *testing.B) {
+	nytSuite, _ := suites(b)
+	for _, alg := range []bench.Algorithm{bench.AlgFV, bench.AlgFVDrop} {
+		alg := alg
+		b.Run(string(alg), func(b *testing.B) {
+			benchWorkload(b, nytSuite, alg, 0.1)
+		})
+	}
+}
+
+func ftoa(f float64) string {
+	switch f {
+	case 0:
+		return "0.0"
+	case 0.05:
+		return "0.05"
+	case 0.1:
+		return "0.1"
+	case 0.2:
+		return "0.2"
+	case 0.3:
+		return "0.3"
+	case 0.5:
+		return "0.5"
+	case 0.7:
+		return "0.7"
+	default:
+		return "x"
+	}
+}

@@ -1,0 +1,188 @@
+// Command topkbench reproduces the paper's experiments. Each experiment id
+// corresponds to a table or figure of the evaluation section; running with
+// -experiment all regenerates everything EXPERIMENTS.md reports.
+//
+// Usage:
+//
+//	topkbench -experiment fig8 [-scale small|default] [-k 10]
+//	topkbench -experiment all -scale small
+//
+// Experiments: fig3 fig5 fig6 fig7 tab5 fig8 fig9 fig10 tab6 stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"topk/internal/bench"
+	"topk/internal/dataset"
+	"topk/internal/stats"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id: fig3|fig5|fig6|fig7|tab5|fig8|fig9|fig10|tab6|stats|all")
+		scaleName  = flag.String("scale", "small", "dataset scale: small|medium|default")
+		k          = flag.Int("k", 10, "ranking size for the single-k experiments")
+	)
+	flag.Parse()
+
+	sc := bench.SmallScale()
+	switch *scaleName {
+	case "default":
+		sc = bench.DefaultScale()
+	case "medium":
+		sc = bench.MediumScale()
+	case "small":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	ids := strings.Split(*experiment, ",")
+	if *experiment == "all" {
+		ids = []string{"stats", "fig3", "fig5", "fig6", "fig7", "tab5", "fig8", "fig9", "fig10", "tab6"}
+	}
+	for _, id := range ids {
+		if err := run(strings.TrimSpace(id), sc, *k); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(id string, sc bench.Scale, k int) error {
+	thetas := []float64{0, 0.1, 0.2, 0.3}
+	grid := []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	opts := bench.DefaultSuiteOptions()
+
+	needEnvs := func() (*bench.Env, *bench.Env, error) { return bench.Envs(sc, k) }
+
+	switch id {
+	case "stats":
+		nyt, yago, err := needEnvs()
+		if err != nil {
+			return err
+		}
+		for _, env := range []*bench.Env{nyt, yago} {
+			sum := stats.Summarize(env.Rankings, 20000, 9)
+			t := bench.Table{
+				Title:   fmt.Sprintf("Dataset statistics (%s)", env.Name),
+				Columns: []string{"metric", "value"},
+				Rows: [][]string{
+					{"rankings", fmt.Sprint(sum.N)},
+					{"k", fmt.Sprint(sum.K)},
+					{"distinct items", fmt.Sprint(sum.DistinctItems)},
+					{"Zipf s (head fit)", fmt.Sprintf("%.2f", env.ZipfS)},
+					{"mean pairwise distance", fmt.Sprintf("%.1f", sum.MeanDistance)},
+					{"intrinsic dimensionality", fmt.Sprintf("%.1f", sum.IntrinsicDim)},
+					{"exact-duplicate rate", fmt.Sprintf("%.2f", sum.DuplicateRate)},
+				},
+			}
+			t.Fprint(os.Stdout)
+		}
+		return nil
+	case "fig3":
+		nyt, yago, err := needEnvs()
+		if err != nil {
+			return err
+		}
+		for _, env := range []*bench.Env{nyt, yago} {
+			t, err := bench.Figure3(env, 0.2)
+			if err != nil {
+				return err
+			}
+			t.Fprint(os.Stdout)
+		}
+		return nil
+	case "fig5":
+		t, err := bench.Figure5(sc, []int{5, 10, 15, 20, 25}, []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3})
+		if err != nil {
+			return err
+		}
+		t.Fprint(os.Stdout)
+		return nil
+	case "fig6":
+		t, err := bench.Figure6(sc, []int{5, 10, 15, 20, 25}, []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3})
+		if err != nil {
+			return err
+		}
+		t.Fprint(os.Stdout)
+		return nil
+	case "fig7":
+		nyt, yago, err := needEnvs()
+		if err != nil {
+			return err
+		}
+		for _, env := range []*bench.Env{nyt, yago} {
+			t, err := bench.Figure7(env, 0.2, grid)
+			if err != nil {
+				return err
+			}
+			t.Fprint(os.Stdout)
+		}
+		return nil
+	case "tab5":
+		nyt, yago, err := needEnvs()
+		if err != nil {
+			return err
+		}
+		for _, env := range []*bench.Env{nyt, yago} {
+			t, err := bench.Table5(env, []float64{0.1, 0.2, 0.3}, grid)
+			if err != nil {
+				return err
+			}
+			t.Fprint(os.Stdout)
+		}
+		return nil
+	case "fig8", "fig9":
+		for _, kk := range []int{k, 2 * k} {
+			var env *bench.Env
+			var err error
+			if id == "fig8" {
+				env, err = bench.NewEnv("NYT-like", dataset.NYTLike(sc.NNYT, kk), sc.NumQueries)
+			} else {
+				env, err = bench.NewEnv("Yago-like", dataset.YagoLike(sc.NYago, kk), sc.NumQueries)
+			}
+			if err != nil {
+				return err
+			}
+			t, err := bench.Figure8and9(env, thetas, opts)
+			if err != nil {
+				return err
+			}
+			t.Fprint(os.Stdout)
+		}
+		return nil
+	case "fig10":
+		nyt, yago, err := needEnvs()
+		if err != nil {
+			return err
+		}
+		for _, env := range []*bench.Env{nyt, yago} {
+			t, err := bench.Figure10(env, thetas, opts)
+			if err != nil {
+				return err
+			}
+			t.Fprint(os.Stdout)
+		}
+		return nil
+	case "tab6":
+		nyt, yago, err := needEnvs()
+		if err != nil {
+			return err
+		}
+		for _, env := range []*bench.Env{nyt, yago} {
+			t, err := bench.Table6(env, opts)
+			if err != nil {
+				return err
+			}
+			t.Fprint(os.Stdout)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment id %q", id)
+	}
+}

@@ -1,0 +1,156 @@
+// Command topkquery builds an index over a ranking collection and answers
+// similarity queries, either from flags or interactively from stdin.
+//
+// Usage:
+//
+//	topkquery -data rankings.txt -index coarse -q "[3, 1, 4, 1, 5]" -theta 0.2
+//	topkgen -preset nyt -n 5000 | topkquery -data - -index coarse -interactive
+//
+// The -index flag selects the structure: coarse (default, auto-tuned),
+// coarse-drop, inverted, inverted-drop, merge, blocked, blocked-drop,
+// bktree, mtree, vptree.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"topk"
+)
+
+func main() {
+	var (
+		dataPath    = flag.String("data", "", "collection path (- = stdin), one ranking per line, e.g. [1, 2, 3]")
+		indexKind   = flag.String("index", "coarse", "coarse|coarse-drop|inverted|inverted-drop|merge|blocked|blocked-drop|bktree|mtree|vptree")
+		query       = flag.String("q", "", "query ranking, e.g. \"[3, 1, 4]\"")
+		theta       = flag.Float64("theta", 0.2, "normalized distance threshold in [0,1]")
+		interactive = flag.Bool("interactive", false, "read queries from stdin after loading")
+		maxTheta    = flag.Float64("maxtheta", 0.3, "auto-tune target threshold for the coarse index")
+	)
+	flag.Parse()
+
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "missing -data")
+		os.Exit(2)
+	}
+	rankings, err := loadRankings(*dataPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	idx, err := buildIndex(*indexKind, rankings, *maxTheta)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "indexed %d rankings (k=%d) with %s in %v\n",
+		idx.Len(), idx.K(), *indexKind, time.Since(start).Round(time.Millisecond))
+
+	answer := func(qs string) {
+		q, err := topk.ParseRanking(qs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad query: %v\n", err)
+			return
+		}
+		start := time.Now()
+		res, err := idx.Search(q, *theta)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "query failed: %v\n", err)
+			return
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%d results in %v (θ=%.2f)\n", len(res), elapsed.Round(time.Microsecond), *theta)
+		for i, r := range res {
+			if i >= 20 {
+				fmt.Printf("  … %d more\n", len(res)-20)
+				break
+			}
+			fmt.Printf("  #%d  d=%d (%.3f)  %s\n", r.ID, r.Dist,
+				float64(r.Dist)/float64(topk.MaxDistance(idx.K())), rankings[r.ID])
+		}
+	}
+
+	if *query != "" {
+		answer(*query)
+	}
+	if *interactive {
+		fmt.Fprintln(os.Stderr, "enter one query ranking per line (ctrl-D to quit):")
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			answer(line)
+		}
+	}
+	if *query == "" && !*interactive {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -q or -interactive")
+		os.Exit(2)
+	}
+}
+
+func loadRankings(path string) ([]topk.Ranking, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var out []topk.Ranking
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rk, err := topk.ParseRanking(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", len(out)+1, err)
+		}
+		out = append(out, rk)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func buildIndex(kind string, rankings []topk.Ranking, maxTheta float64) (topk.Index, error) {
+	switch kind {
+	case "coarse":
+		return topk.NewCoarseIndex(rankings, topk.WithAutoTune(maxTheta))
+	case "coarse-drop":
+		return topk.NewCoarseIndex(rankings, topk.WithThetaC(0.06), topk.WithListDropping())
+	case "inverted":
+		return topk.NewInvertedIndex(rankings, topk.WithAlgorithm(topk.FilterValidate))
+	case "inverted-drop":
+		return topk.NewInvertedIndex(rankings)
+	case "merge":
+		return topk.NewInvertedIndex(rankings, topk.WithAlgorithm(topk.ListMerge))
+	case "blocked":
+		return topk.NewBlockedIndex(rankings)
+	case "blocked-drop":
+		return topk.NewBlockedIndex(rankings, topk.WithBlockedDrop())
+	case "bktree":
+		return topk.NewMetricTree(rankings, topk.BKTree)
+	case "mtree":
+		return topk.NewMetricTree(rankings, topk.MTree)
+	case "vptree":
+		return topk.NewMetricTree(rankings, topk.VPTree)
+	default:
+		return nil, fmt.Errorf("unknown index kind %q", kind)
+	}
+}

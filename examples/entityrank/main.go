@@ -1,0 +1,78 @@
+// Entityrank: the knowledge-base scenario of the paper's Yago benchmark.
+//
+// Entity rankings ("tallest buildings in New York", "longest rivers in
+// Europe", …) are mined from a knowledge base; analysts look for rankings
+// related to one at hand. Yago-style data is only mildly skewed (entities
+// occur in few rankings), which changes which algorithm wins — this example
+// runs the same workload through four index structures and prints the
+// comparison, mirroring the lesson of Figure 9.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"topk"
+	"topk/internal/dataset"
+)
+
+func main() {
+	cfg := dataset.YagoLike(25000, 10)
+	rankings, err := dataset.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries, err := dataset.Workload(rankings, cfg, 300, 0.85, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("entity rankings: n=%d, k=%d; %d workload queries\n\n",
+		len(rankings), 10, len(queries))
+
+	type contender struct {
+		name  string
+		build func() (topk.Index, error)
+	}
+	contenders := []contender{
+		{"Coarse+Drop (θC=0.06)", func() (topk.Index, error) {
+			return topk.NewCoarseIndex(rankings, topk.WithThetaC(0.06), topk.WithListDropping())
+		}},
+		{"InvertedIndex (F&V+Drop)", func() (topk.Index, error) {
+			return topk.NewInvertedIndex(rankings)
+		}},
+		{"InvertedIndex (ListMerge)", func() (topk.Index, error) {
+			return topk.NewInvertedIndex(rankings, topk.WithAlgorithm(topk.ListMerge))
+		}},
+		{"BK-tree", func() (topk.Index, error) {
+			return topk.NewMetricTree(rankings, topk.BKTree)
+		}},
+	}
+
+	fmt.Printf("%-26s %12s %14s %10s %14s\n", "index", "build", "1000 queries", "results", "distance calls")
+	for _, c := range contenders {
+		start := time.Now()
+		idx, err := c.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		buildTime := time.Since(start)
+		start = time.Now()
+		found := 0
+		for _, q := range queries {
+			res, err := idx.Search(q, 0.2)
+			if err != nil {
+				log.Fatal(err)
+			}
+			found += len(res)
+		}
+		queryTime := time.Since(start) * 1000 / time.Duration(len(queries))
+		fmt.Printf("%-26s %12v %14v %10d %14d\n",
+			c.name, buildTime.Round(time.Millisecond), queryTime.Round(time.Millisecond),
+			found, idx.DistanceCalls())
+	}
+
+	fmt.Println("\npaper's lesson (Figure 9): on evenly distributed data the simple")
+	fmt.Println("ListMerge is competitive, while Coarse+Drop still beats AdaptSearch;")
+	fmt.Println("the pure metric tree trails the inverted-index family.")
+}

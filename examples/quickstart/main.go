@@ -1,0 +1,48 @@
+// Quickstart: index a handful of top-5 movie rankings and run a similarity
+// query with the coarse index — the minimal end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"topk"
+)
+
+func main() {
+	// A tiny collection of top-5 favorite lists (items are movie ids).
+	// τ0 and τ1 are near-duplicates: one adjacent swap apart.
+	collection := []topk.Ranking{
+		{101, 205, 33, 47, 9},  // τ0
+		{205, 101, 33, 47, 9},  // τ1 — near-duplicate of τ0
+		{101, 205, 33, 9, 47},  // τ2 — another reordering
+		{7, 8, 9, 10, 11},      // τ3 — unrelated
+		{500, 501, 502, 47, 9}, // τ4 — shares two items with τ0
+		{101, 205, 33, 47, 9},  // τ5 — exact duplicate of τ0
+	}
+
+	idx, err := topk.NewCoarseIndex(collection, topk.WithThetaC(0.2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d rankings of size %d into %d partitions\n",
+		idx.Len(), idx.K(), idx.NumPartitions())
+
+	query := topk.Ranking{101, 205, 47, 33, 9}
+	for _, theta := range []float64{0.1, 0.3, 0.5} {
+		results, err := idx.Search(query, theta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nθ = %.1f → %d results\n", theta, len(results))
+		for _, r := range results {
+			fmt.Printf("  τ%d  rawDist=%d  normalized=%.3f  %v\n",
+				r.ID, r.Dist, float64(r.Dist)/float64(topk.MaxDistance(idx.K())), collection[r.ID])
+		}
+	}
+
+	// Distances directly, without an index:
+	fmt.Printf("\nF(τ0, τ1) = %d (adjacent swap)\n", topk.Distance(collection[0], collection[1]))
+	fmt.Printf("F(τ0, τ3) = %d (= k(k+1), disjoint)\n", topk.Distance(collection[0], collection[3]))
+	fmt.Printf("distance evaluations performed by all queries: %d\n", idx.DistanceCalls())
+}

@@ -1,0 +1,74 @@
+// Tuning: the cost model in action (Sections 5 and 7 of the paper).
+//
+// This example generates a clustered collection, sweeps the partitioning
+// threshold θC empirically — measuring real filtering and validation time
+// per operating point — and asks the cost model for its sweet spot, showing
+// that the model's choice lands near the empirical optimum (the claim of
+// Figure 7 / Table 5).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"topk/internal/bench"
+	"topk/internal/costmodel"
+	"topk/internal/dataset"
+	"topk/internal/ranking"
+)
+
+func main() {
+	const k, theta = 10, 0.2
+	env, err := bench.NewEnv("demo", dataset.NYTLike(8000, k), 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collection: n=%d, k=%d, Zipf s≈%.2f, %d distinct items\n\n",
+		len(env.Rankings), k, env.ZipfS, env.V)
+
+	grid := []float64{0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
+	points, err := bench.Figure7Sweep(env, theta, grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var bestEmp bench.ThetaCPoint
+	bestEmp.Overall = 1 << 62
+	var maxOverall time.Duration
+	for _, p := range points {
+		if p.Overall < bestEmp.Overall {
+			bestEmp = p
+		}
+		if p.Overall > maxOverall {
+			maxOverall = p.Overall
+		}
+	}
+
+	fmt.Printf("empirical sweep at θ=%.1f (times per %d queries):\n", theta, len(env.Queries))
+	fmt.Printf("%8s %12s %12s %12s %12s  %s\n", "θC", "filter", "validate", "overall", "partitions", "")
+	for _, p := range points {
+		bar := strings.Repeat("#", int(30*p.Overall/maxOverall))
+		marker := ""
+		if p.ThetaC == bestEmp.ThetaC {
+			marker = "  ← empirical optimum"
+		}
+		fmt.Printf("%8.2f %12v %12v %12v %12d  %s%s\n",
+			p.ThetaC, p.Filter.Round(time.Microsecond), p.Validate.Round(time.Microsecond),
+			p.Overall.Round(time.Microsecond), p.Partitions, bar, marker)
+	}
+
+	// Now the model's pick.
+	m, err := costmodel.New(len(env.Rankings), k, env.V, env.ZipfS, env.CDF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Calibrate(1)
+	raw := m.OptimalThetaC(ranking.RawThreshold(theta, k), costmodel.DefaultGrid(k))
+	modelTC := float64(raw) / float64(ranking.MaxDistance(k))
+	fmt.Printf("\ncost model sweet spot: θC = %.2f (empirical optimum: %.2f)\n", modelTC, bestEmp.ThetaC)
+	fmt.Println("\nthe filtering curve falls with θC (fewer medoids in the inverted index)")
+	fmt.Println("while validation rises (larger partitions to verify) — the sweet spot")
+	fmt.Println("balances the two, and the model finds it from the distance CDF alone.")
+}

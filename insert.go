@@ -1,0 +1,47 @@
+package topk
+
+import (
+	"topk/internal/coarse"
+	"topk/internal/invindex"
+	"topk/internal/ranking"
+)
+
+// Insert adds a ranking to the indexed collection and returns its new ID.
+// The inverted index supports incremental maintenance natively (posting
+// lists stay id-sorted because ids grow monotonically); the internal query
+// state is re-created so subsequent Search calls see the new ranking.
+func (ii *InvertedIndex) Insert(r Ranking) (ID, error) {
+	ii.mu.Lock()
+	defer ii.mu.Unlock()
+	id, err := ii.idx.Insert(r)
+	if err != nil {
+		return 0, err
+	}
+	ii.search = invindex.NewSearcher(ii.idx)
+	return id, nil
+}
+
+// Insert adds a ranking to the coarse index and returns its new ID. Per
+// Section 4.1's clustering semantics, the ranking joins the first existing
+// partition whose medoid is within θC (found through the medoid inverted
+// index with Lemma 1's relaxation — a zero-radius query at threshold θC);
+// otherwise it becomes the medoid of a fresh singleton partition. The
+// partition invariant d(medoid, member) ≤ θC is preserved exactly, so all
+// query-time guarantees carry over.
+func (c *CoarseIndex) Insert(r Ranking) (ID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	if r.K() != c.k {
+		return 0, ranking.ErrSizeMismatch
+	}
+	id, err := c.idx.Insert(r, c.ev)
+	if err != nil {
+		return 0, err
+	}
+	// The medoid set may have grown; rebind the searcher.
+	c.search = coarse.NewSearcher(c.idx)
+	return id, nil
+}

@@ -1,0 +1,18 @@
+package adaptsearch
+
+// SizeBytes estimates the serialized footprint of the delta inverted index:
+// the complete rankings, the global order table, the per-record sorted item
+// arrays, and one 4-byte posting per (position, item) entry. This is the
+// "Delta Inverted Index" row of Table 6.
+func (idx *Index) SizeBytes() int64 {
+	var sz int64 = 16
+	sz += int64(len(idx.rankings)) * int64(4*idx.k) // rankings
+	sz += int64(len(idx.order)) * 8                 // item → order
+	sz += int64(len(idx.sorted)) * int64(4*idx.k)   // sorted copies
+	for _, m := range idx.pos {
+		for _, l := range m {
+			sz += 8 + 4*int64(len(l))
+		}
+	}
+	return sz
+}

@@ -1,0 +1,176 @@
+package batch
+
+import (
+	"math/rand"
+	"testing"
+
+	"topk/internal/dataset"
+	"topk/internal/invindex"
+	"topk/internal/metric"
+	"topk/internal/ranking"
+)
+
+func setup(t *testing.T) ([]ranking.Ranking, []ranking.Ranking, *Processor) {
+	t.Helper()
+	cfg := dataset.NYTLike(1500, 10)
+	rs, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := dataset.Workload(rs, cfg, 120, 0.9, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := invindex.New(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs, qs, NewProcessor(idx)
+}
+
+func bruteResults(rs []ranking.Ranking, q ranking.Ranking, rawTheta int) []ranking.Result {
+	var out []ranking.Result
+	for id, r := range rs {
+		if d := ranking.Footrule(q, r); d <= rawTheta {
+			out = append(out, ranking.Result{ID: ranking.ID(id), Dist: d})
+		}
+	}
+	ranking.SortResults(out)
+	return out
+}
+
+func TestBatchMatchesPerQueryBruteForce(t *testing.T) {
+	rs, qs, p := setup(t)
+	for _, rawTheta := range []int{0, 11, 22, 33} {
+		for _, radius := range []int{0, 11, 33} {
+			got, st, err := p.Process(qs, rawTheta, radius, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(qs) {
+				t.Fatalf("answered %d of %d queries", len(got), len(qs))
+			}
+			if st.Clusters == 0 || st.IndexProbes != st.Clusters {
+				t.Fatalf("stats inconsistent: %+v", st)
+			}
+			for i, q := range qs {
+				want := bruteResults(rs, q, rawTheta)
+				if len(got[i]) != len(want) {
+					t.Fatalf("θ=%d rC=%d query %d: %d results, want %d",
+						rawTheta, radius, i, len(got[i]), len(want))
+				}
+				for j := range want {
+					if got[i][j] != want[j] {
+						t.Fatalf("query %d result %d mismatch", i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchSharesFilteringWork(t *testing.T) {
+	rs, qs, p := setup(t)
+	_ = rs
+	// Compared to per-query processing, the batch must issue far fewer
+	// index probes when queries cluster.
+	_, st, err := p.Process(qs, 22, 22, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Clusters >= len(qs) {
+		t.Fatalf("no clustering happened: %d clusters for %d queries", st.Clusters, len(qs))
+	}
+	if st.TrianglePruned == 0 {
+		t.Fatal("triangle pruning never fired")
+	}
+}
+
+func TestBatchDegenerateRadius(t *testing.T) {
+	rs, qs, p := setup(t)
+	// Radius so large that θ+rC ≥ dmax: the scan fallback must stay exact.
+	got, _, err := p.Process(qs[:10], 33, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs[:10] {
+		want := bruteResults(rs, q, 33)
+		if len(got[i]) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", i, len(got[i]), len(want))
+		}
+	}
+}
+
+func TestBatchEdgeCases(t *testing.T) {
+	_, _, p := setup(t)
+	if got, _, err := p.Process(nil, 11, 11, nil); err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v %v", got, err)
+	}
+	if _, _, err := p.Process([]ranking.Ranking{{1, 2}}, 11, 11, nil); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, _, err := p.Process([]ranking.Ranking{{1, 1, 2, 3, 4, 5, 6, 7, 8, 9}}, 11, 11, nil); err == nil {
+		t.Fatal("duplicate item query accepted")
+	}
+	if got, _, err := p.Process([]ranking.Ranking{{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}, -1, 11, nil); err != nil || got[0] != nil {
+		t.Fatalf("negative threshold: %v %v", got, err)
+	}
+}
+
+func TestBatchDFCAdvantage(t *testing.T) {
+	rs, qs, p := setup(t)
+	evBatch := metric.New(nil)
+	if _, _, err := p.Process(qs, 11, 11, evBatch); err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := invindex.New(rs)
+	s := invindex.NewSearcher(idx)
+	evSingle := metric.New(nil)
+	for _, q := range qs {
+		if _, err := s.FilterValidate(q, 11, evSingle); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("batch DFC %d vs per-query DFC %d", evBatch.Calls(), evSingle.Calls())
+	if evBatch.Calls() >= 3*evSingle.Calls() {
+		t.Fatalf("batching wildly more expensive: %d vs %d", evBatch.Calls(), evSingle.Calls())
+	}
+}
+
+func TestBatchDeterministic(t *testing.T) {
+	_, qs, p := setup(t)
+	a, _, _ := p.Process(qs[:30], 22, 11, nil)
+	b, _, _ := p.Process(qs[:30], 22, 11, nil)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("batch processing not deterministic")
+		}
+	}
+}
+
+var benchSink int
+
+func BenchmarkBatchVsPerQuery(b *testing.B) {
+	cfg := dataset.NYTLike(5000, 10)
+	rs, _ := dataset.Generate(cfg)
+	qs, _ := dataset.Workload(rs, cfg, 200, 0.9, 5)
+	idx, _ := invindex.New(rs)
+	p := NewProcessor(idx)
+	s := invindex.NewSearcher(idx)
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, _, _ := p.Process(qs, 22, 11, nil)
+			benchSink = len(out)
+		}
+	})
+	b.Run("per-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				r, _ := s.FilterValidate(q, 22, nil)
+				benchSink = len(r)
+			}
+		}
+	})
+}

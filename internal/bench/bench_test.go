@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"topk/internal/metric"
+	"topk/internal/ranking"
+)
+
+// tinyScale keeps harness tests fast while still exercising every code
+// path.
+func tinyScale() Scale { return Scale{NNYT: 1200, NYago: 800, NumQueries: 40} }
+
+func tinyEnv(t *testing.T) *Env {
+	t.Helper()
+	nyt, _, err := Envs(tinyScale(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nyt
+}
+
+func bruteResults(rs []ranking.Ranking, q ranking.Ranking, rawTheta int) []ranking.Result {
+	var out []ranking.Result
+	for id, r := range rs {
+		if d := ranking.Footrule(q, r); d <= rawTheta {
+			out = append(out, ranking.Result{ID: ranking.ID(id), Dist: d})
+		}
+	}
+	ranking.SortResults(out)
+	return out
+}
+
+func TestAllAlgorithmsAgree(t *testing.T) {
+	// The harness-level end-to-end check: every algorithm returns the exact
+	// brute-force result set on the same workload.
+	env := tinyEnv(t)
+	opts := DefaultSuiteOptions()
+	suite, err := BuildSuite(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := append([]Algorithm{}, AllAlgorithms...)
+	algs = append(algs, AlgBKTree, AlgMTree)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 12; trial++ {
+		q := env.Queries[rng.Intn(len(env.Queries))]
+		theta := []float64{0, 0.1, 0.2, 0.3}[rng.Intn(4)]
+		raw := ranking.RawThreshold(theta, env.Cfg.K)
+		want := bruteResults(env.Rankings, q, raw)
+		for _, alg := range algs {
+			got, err := suite.Run(alg, q, raw, metric.New(nil))
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s θ=%.1f: got %d results, want %d", alg, theta, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s θ=%.1f: result %d = %v, want %v", alg, theta, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRunWorkloadCounts(t *testing.T) {
+	env := tinyEnv(t)
+	suite, err := BuildSuite(env, DefaultSuiteOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv, err := suite.RunWorkload(AlgFV, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := suite.RunWorkload(AlgMinimalFV, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv.Results != oracle.Results {
+		t.Fatalf("result counts differ: F&V %d vs oracle %d", fv.Results, oracle.Results)
+	}
+	if oracle.DFC != uint64(oracle.Results) {
+		t.Fatalf("oracle DFC %d != results %d", oracle.DFC, oracle.Results)
+	}
+	if fv.DFC <= oracle.DFC {
+		t.Fatalf("F&V DFC %d not above the oracle's %d", fv.DFC, oracle.DFC)
+	}
+	if fv.TimePer1000Queries(len(env.Queries)) <= 0 {
+		t.Fatal("no time measured")
+	}
+}
+
+func TestDropReducesDFCOnSkewedData(t *testing.T) {
+	// The Figure 10 headline on the skewed (NYT-like) dataset.
+	env := tinyEnv(t)
+	suite, err := BuildSuite(env, DefaultSuiteOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv, _ := suite.RunWorkload(AlgFV, 0.1)
+	drop, _ := suite.RunWorkload(AlgFVDrop, 0.1)
+	if drop.DFC >= fv.DFC {
+		t.Fatalf("F&V+Drop DFC %d not below F&V %d", drop.DFC, fv.DFC)
+	}
+	coarseDrop, _ := suite.RunWorkload(AlgCoarseDrop, 0.1)
+	if coarseDrop.DFC >= fv.DFC {
+		t.Fatalf("Coarse+Drop DFC %d not below F&V %d", coarseDrop.DFC, fv.DFC)
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	env := tinyEnv(t)
+	suite, err := BuildSuite(env, SuiteOptions{CoarseThetaC: 0.5, CoarseDropThetaC: 0.06,
+		Thetas: []float64{0.1}, SkipTrees: true, SkipMinimal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := suite.Run("nope", env.Queries[0], 11, nil); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := suite.Run(AlgBKTree, env.Queries[0], 11, nil); err == nil {
+		t.Fatal("skipped BK-tree answered")
+	}
+	if _, err := suite.Run(AlgMinimalFV, env.Queries[0], 11, nil); err == nil {
+		t.Fatal("skipped oracle answered")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"hello"},
+	}
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure3Runs(t *testing.T) {
+	env := tinyEnv(t)
+	tb, err := Figure3(env, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 10 {
+		t.Fatalf("figure 3 has %d rows", len(tb.Rows))
+	}
+}
+
+func TestFigure7AndTable5Run(t *testing.T) {
+	env := tinyEnv(t)
+	grid := []float64{0, 0.1, 0.3, 0.5}
+	tb, err := Figure7(env, 0.2, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(grid) {
+		t.Fatalf("figure 7 rows = %d", len(tb.Rows))
+	}
+	t5, err := Table5(env, []float64{0.1, 0.2}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) != 2 {
+		t.Fatalf("table 5 rows = %d", len(t5.Rows))
+	}
+}
+
+func TestFigure8And10Run(t *testing.T) {
+	env := tinyEnv(t)
+	opts := DefaultSuiteOptions()
+	tb, err := Figure8and9(env, []float64{0, 0.1}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(AllAlgorithms) {
+		t.Fatalf("figure 8 rows = %d", len(tb.Rows))
+	}
+	t10, err := Figure10(env, []float64{0, 0.1}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t10.Rows) != 6 {
+		t.Fatalf("figure 10 rows = %d", len(t10.Rows))
+	}
+}
+
+func TestFigure5And6Run(t *testing.T) {
+	sc := Scale{NNYT: 600, NYago: 400, NumQueries: 15}
+	tb, err := Figure5(sc, []int{5, 10}, []float64{0.05, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("figure 5 rows = %d", len(tb.Rows))
+	}
+	t6, err := Figure6(sc, []int{5, 10}, []float64{0.05, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6.Rows) != 4 {
+		t.Fatalf("figure 6 rows = %d", len(t6.Rows))
+	}
+}
+
+func TestTable6Runs(t *testing.T) {
+	env := tinyEnv(t)
+	tb, err := Table6(env, DefaultSuiteOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("table 6 rows = %d", len(tb.Rows))
+	}
+}

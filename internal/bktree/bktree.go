@@ -1,0 +1,407 @@
+// Package bktree implements the Burkhard–Keller tree (CACM 1973), an n-ary
+// search tree for discrete metrics. It is the metric index the paper uses
+// both as a standalone competitor (Figures 5 and 6) and as the partition
+// representation inside the coarse index (Section 4.1): every subtree whose
+// edge distance to its parent is at most the partitioning threshold θC forms
+// a partition, rooted at its medoid, and the subtree itself answers the
+// final θ-range queries on the partition without exhaustive evaluation.
+//
+// BK-tree invariant: the children of a node are keyed by their exact
+// distance to that node, and every node of the subtree hanging off edge e
+// has distance exactly e to the subtree's grandparent node — insertion
+// routes each new object along edges labeled with its measured distances.
+// Consequently {root} ∪ subtrees(edge ≤ θC) is exactly the set of indexed
+// rankings within θC of the root, which is what makes the partition
+// extraction of the coarse index correct.
+package bktree
+
+import (
+	"fmt"
+	"sort"
+
+	"topk/internal/metric"
+	"topk/internal/ranking"
+)
+
+// Node is a BK-tree node. Exported fields allow the coarse index and the
+// serialization layer to walk trees without reflection.
+type Node struct {
+	ID       ranking.ID // position of the ranking in the indexed collection
+	Children []Edge     // sorted by Dist ascending
+}
+
+// Edge connects a node to the subtree of objects at exactly Dist from it.
+type Edge struct {
+	Dist  int32
+	Child *Node
+}
+
+// Tree is a BK-tree over a collection of same-size rankings. The tree does
+// not copy rankings; it references them by position in the backing slice.
+type Tree struct {
+	Root     *Node
+	rankings []ranking.Ranking
+	size     int
+	k        int
+}
+
+// New builds a BK-tree over the given rankings using ev for distance
+// computations (nil means a fresh Footrule evaluator). Construction needs
+// O(n · depth) distance computations; the paper's Table 6 reports this as
+// the most expensive part of coarse index construction.
+func New(rankings []ranking.Ranking, ev *metric.Evaluator) (*Tree, error) {
+	if ev == nil {
+		ev = metric.New(nil)
+	}
+	t := &Tree{rankings: rankings}
+	if len(rankings) == 0 {
+		return t, nil
+	}
+	t.k = rankings[0].K()
+	for id, r := range rankings {
+		if r.K() != t.k {
+			return nil, fmt.Errorf("bktree: ranking %d has size %d, want %d: %w",
+				id, r.K(), t.k, ranking.ErrSizeMismatch)
+		}
+		t.insert(ranking.ID(id), ev)
+	}
+	return t, nil
+}
+
+// NewSubset builds a BK-tree over the subset of the collection given by
+// ids, inserted in order (so ids[0] becomes the root). Node IDs refer to
+// positions in the full collection, which lets partitions produced by other
+// clustering strategies (e.g. the random-medoid scheme of Chávez and
+// Navarro used in the coarse-index ablation) share the same storage and
+// query path as the paper's BK-subtree partitions.
+func NewSubset(all []ranking.Ranking, ids []ranking.ID, ev *metric.Evaluator) (*Tree, error) {
+	if ev == nil {
+		ev = metric.New(nil)
+	}
+	t := &Tree{rankings: all}
+	if len(ids) == 0 {
+		return t, nil
+	}
+	t.k = all[ids[0]].K()
+	for _, id := range ids {
+		if all[id].K() != t.k {
+			return nil, fmt.Errorf("bktree: ranking %d has size %d, want %d: %w",
+				id, all[id].K(), t.k, ranking.ErrSizeMismatch)
+		}
+		t.insert(id, ev)
+	}
+	return t, nil
+}
+
+// insert adds the ranking with the given id below the root, creating the
+// root when the tree is empty.
+func (t *Tree) insert(id ranking.ID, ev *metric.Evaluator) {
+	t.size++
+	if t.Root == nil {
+		t.Root = &Node{ID: id}
+		return
+	}
+	cur := t.Root
+	obj := t.rankings[id]
+	for {
+		d := int32(ev.Distance(obj, t.rankings[cur.ID]))
+		if child := cur.childAt(d); child != nil {
+			cur = child
+			continue
+		}
+		cur.addChild(d, &Node{ID: id})
+		return
+	}
+}
+
+// childAt returns the child at exactly distance d, or nil.
+func (n *Node) childAt(d int32) *Node {
+	i := sort.Search(len(n.Children), func(i int) bool { return n.Children[i].Dist >= d })
+	if i < len(n.Children) && n.Children[i].Dist == d {
+		return n.Children[i].Child
+	}
+	return nil
+}
+
+// addChild inserts a new edge keeping Children sorted by distance.
+func (n *Node) addChild(d int32, c *Node) {
+	i := sort.Search(len(n.Children), func(i int) bool { return n.Children[i].Dist >= d })
+	n.Children = append(n.Children, Edge{})
+	copy(n.Children[i+1:], n.Children[i:])
+	n.Children[i] = Edge{Dist: d, Child: c}
+}
+
+// Len returns the number of indexed rankings.
+func (t *Tree) Len() int { return t.size }
+
+// K returns the ranking size, or 0 for an empty tree.
+func (t *Tree) K() int { return t.k }
+
+// Ranking returns the indexed ranking with the given id.
+func (t *Tree) Ranking(id ranking.ID) ranking.Ranking { return t.rankings[id] }
+
+// Rankings exposes the backing collection (shared, not copied).
+func (t *Tree) Rankings() []ranking.Ranking { return t.rankings }
+
+// RangeSearch returns the ids of all indexed rankings within raw distance
+// radius of q (inclusive), in unspecified order. The classic BK-tree
+// pruning applies: at a node with distance d to the query only child edges
+// in [d−radius, d+radius] can contain results, by the triangle inequality.
+func (t *Tree) RangeSearch(q ranking.Ranking, radius int, ev *metric.Evaluator) []ranking.ID {
+	if ev == nil {
+		ev = metric.New(nil)
+	}
+	var out []ranking.ID
+	if t.Root == nil || radius < 0 {
+		return out
+	}
+	t.searchNode(t.Root, q, int32(radius), ev, &out)
+	return out
+}
+
+func (t *Tree) searchNode(n *Node, q ranking.Ranking, radius int32, ev *metric.Evaluator, out *[]ranking.ID) {
+	t.searchNodeD(n, q, radius, ev, out, int32(ev.Distance(q, t.rankings[n.ID])))
+}
+
+// searchNodeD continues a search at n whose distance d to the query is
+// already known. Children over a distance-0 edge are duplicates of n in
+// metric terms — d(q, child) = d(q, n) by the triangle inequality — so they
+// inherit d without a distance computation. This realizes the paper's
+// observation that exact-duplicate rankings in a partition are not
+// re-validated (their DFC can even undercut the result size, Figure 10).
+func (t *Tree) searchNodeD(n *Node, q ranking.Ranking, radius int32, ev *metric.Evaluator, out *[]ranking.ID, d int32) {
+	if d <= radius {
+		*out = append(*out, n.ID)
+	}
+	lo, hi := d-radius, d+radius
+	// Children are sorted by distance: binary search the admissible window.
+	i := sort.Search(len(n.Children), func(i int) bool { return n.Children[i].Dist >= lo })
+	for ; i < len(n.Children) && n.Children[i].Dist <= hi; i++ {
+		if n.Children[i].Dist == 0 {
+			t.searchNodeD(n.Children[i].Child, q, radius, ev, out, d)
+			continue
+		}
+		t.searchNode(n.Children[i].Child, q, radius, ev, out)
+	}
+}
+
+// RangeSearchResults is RangeSearch but also reports each hit's exact
+// distance (already computed during the walk), saving the caller a
+// re-evaluation.
+func (t *Tree) RangeSearchResults(q ranking.Ranking, radius int, ev *metric.Evaluator) []ranking.Result {
+	if ev == nil {
+		ev = metric.New(nil)
+	}
+	var out []ranking.Result
+	if t.Root == nil || radius < 0 {
+		return out
+	}
+	t.searchNodeResults(t.Root, q, int32(radius), ev, &out)
+	return out
+}
+
+func (t *Tree) searchNodeResults(n *Node, q ranking.Ranking, radius int32, ev *metric.Evaluator, out *[]ranking.Result) {
+	t.searchNodeResultsD(n, q, radius, ev, out, int32(ev.Distance(q, t.rankings[n.ID])))
+}
+
+func (t *Tree) searchNodeResultsD(n *Node, q ranking.Ranking, radius int32, ev *metric.Evaluator, out *[]ranking.Result, d int32) {
+	if d <= radius {
+		*out = append(*out, ranking.Result{ID: n.ID, Dist: int(d)})
+	}
+	lo, hi := d-radius, d+radius
+	i := sort.Search(len(n.Children), func(i int) bool { return n.Children[i].Dist >= lo })
+	for ; i < len(n.Children) && n.Children[i].Dist <= hi; i++ {
+		if n.Children[i].Dist == 0 {
+			t.searchNodeResultsD(n.Children[i].Child, q, radius, ev, out, d)
+			continue
+		}
+		t.searchNodeResults(n.Children[i].Child, q, radius, ev, out)
+	}
+}
+
+// SearchPartitionResults runs a range query on a partition and reports
+// exact distances; the result payload of the coarse index's validation
+// phase.
+func (t *Tree) SearchPartitionResults(p Partition, q ranking.Ranking, radius int, ev *metric.Evaluator) []ranking.Result {
+	if ev == nil {
+		ev = metric.New(nil)
+	}
+	var out []ranking.Result
+	if p.Root == nil || radius < 0 {
+		return out
+	}
+	t.searchNodeResults(p.Root, q, int32(radius), ev, &out)
+	return out
+}
+
+// CountRange reports only the number of results of RangeSearch; used by
+// statistics and the cost-model calibration where materializing ids would
+// distort timings.
+func (t *Tree) CountRange(q ranking.Ranking, radius int, ev *metric.Evaluator) int {
+	if ev == nil {
+		ev = metric.New(nil)
+	}
+	if t.Root == nil || radius < 0 {
+		return 0
+	}
+	return t.countNode(t.Root, q, int32(radius), ev)
+}
+
+func (t *Tree) countNode(n *Node, q ranking.Ranking, radius int32, ev *metric.Evaluator) int {
+	return t.countNodeD(n, q, radius, ev, int32(ev.Distance(q, t.rankings[n.ID])))
+}
+
+func (t *Tree) countNodeD(n *Node, q ranking.Ranking, radius int32, ev *metric.Evaluator, d int32) int {
+	c := 0
+	if d <= radius {
+		c = 1
+	}
+	lo, hi := d-radius, d+radius
+	i := sort.Search(len(n.Children), func(i int) bool { return n.Children[i].Dist >= lo })
+	for ; i < len(n.Children) && n.Children[i].Dist <= hi; i++ {
+		if n.Children[i].Dist == 0 {
+			c += t.countNodeD(n.Children[i].Child, q, radius, ev, d)
+			continue
+		}
+		c += t.countNode(n.Children[i].Child, q, radius, ev)
+	}
+	return c
+}
+
+// Stats describes the shape of a BK-tree; the paper notes the tree is
+// unbalanced and worst-case quadratic to build, which Stats makes visible.
+type Stats struct {
+	Nodes     int
+	MaxDepth  int
+	AvgDepth  float64
+	MaxFanout int
+	Leaves    int
+}
+
+// Stats computes shape statistics by a full walk.
+func (t *Tree) Stats() Stats {
+	var s Stats
+	if t.Root == nil {
+		return s
+	}
+	totalDepth := 0
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		s.Nodes++
+		totalDepth += depth
+		if depth > s.MaxDepth {
+			s.MaxDepth = depth
+		}
+		if len(n.Children) > s.MaxFanout {
+			s.MaxFanout = len(n.Children)
+		}
+		if len(n.Children) == 0 {
+			s.Leaves++
+		}
+		for _, e := range n.Children {
+			walk(e.Child, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	s.AvgDepth = float64(totalDepth) / float64(s.Nodes)
+	return s
+}
+
+// Walk visits every node in preorder until fn returns false.
+func (t *Tree) Walk(fn func(n *Node, depth int) bool) {
+	if t.Root == nil {
+		return
+	}
+	var rec func(n *Node, depth int) bool
+	rec = func(n *Node, depth int) bool {
+		if !fn(n, depth) {
+			return false
+		}
+		for _, e := range n.Children {
+			if !rec(e.Child, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(t.Root, 0)
+}
+
+// Partition is one cluster extracted by Partitions: the medoid ranking and
+// the forest of members within θC of it, kept in BK-tree form so the coarse
+// index can answer the original θ-range query on the cluster without
+// exhaustively evaluating its members (Section 4.1, Figure 1).
+type Partition struct {
+	// Medoid is the representative ranking; every member satisfies
+	// d(medoid, member) ≤ θC (raw).
+	Medoid ranking.ID
+	// Root is a synthetic node for the medoid whose children are exactly the
+	// subtrees of the original node with edge distance ≤ θC. It is a valid
+	// BK-tree rooted at the medoid.
+	Root *Node
+	// Size is the number of rankings in the partition, including the medoid.
+	Size int
+}
+
+// Partitions cuts the tree into disjoint partitions with pairwise-to-medoid
+// distance at most thetaC (raw), per Section 4.1: a node keeps the subtrees
+// of its ≤θC edges as its partition; every child reached over a >θC edge
+// starts a fresh partition, recursively. The union of all partitions is
+// exactly the indexed collection and partitions are disjoint.
+func (t *Tree) Partitions(thetaC int) []Partition {
+	var parts []Partition
+	if t.Root == nil {
+		return parts
+	}
+	var cut func(n *Node)
+	cut = func(n *Node) {
+		p := Partition{Medoid: n.ID, Root: &Node{ID: n.ID}}
+		for _, e := range n.Children {
+			if int(e.Dist) <= thetaC {
+				p.Root.Children = append(p.Root.Children, e)
+			} else {
+				cut(e.Child)
+			}
+		}
+		p.Size = subtreeSize(p.Root)
+		parts = append(parts, p)
+	}
+	cut(t.Root)
+	return parts
+}
+
+func subtreeSize(n *Node) int {
+	s := 1
+	for _, e := range n.Children {
+		s += subtreeSize(e.Child)
+	}
+	return s
+}
+
+// SearchPartition runs a range query on a partition extracted by
+// Partitions, using the owning tree's ranking storage.
+func (t *Tree) SearchPartition(p Partition, q ranking.Ranking, radius int, ev *metric.Evaluator) []ranking.ID {
+	if ev == nil {
+		ev = metric.New(nil)
+	}
+	var out []ranking.ID
+	if p.Root == nil || radius < 0 {
+		return out
+	}
+	t.searchNode(p.Root, q, int32(radius), ev, &out)
+	return out
+}
+
+// Members returns all ranking ids contained in the partition.
+func (p Partition) Members() []ranking.ID {
+	var ids []ranking.ID
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		ids = append(ids, n.ID)
+		for _, e := range n.Children {
+			walk(e.Child)
+		}
+	}
+	walk(p.Root)
+	return ids
+}

@@ -1,0 +1,120 @@
+package coarse
+
+import (
+	"fmt"
+
+	"topk/internal/bktree"
+	"topk/internal/metric"
+	"topk/internal/ranking"
+)
+
+// Insert adds a ranking to the index, preserving the partition invariant
+// d(medoid, member) ≤ θC: the ranking joins the first partition whose
+// medoid is within θC (partitions are probed via the medoid inverted index
+// at threshold θC, which by Lemma 1's argument at radius 0 cannot miss a
+// qualifying medoid as long as θC < dmax, plus a fallback scan for the
+// degenerate θC ≥ dmax configuration), or it founds a new singleton
+// partition and its ranking becomes a medoid in the inverted index.
+//
+// Searchers created before the insert must be discarded; the topk facade
+// re-creates them automatically.
+func (idx *Index) Insert(r ranking.Ranking, ev *metric.Evaluator) (ranking.ID, error) {
+	if ev == nil {
+		ev = metric.New(nil)
+	}
+	if idx.n == 0 {
+		idx.k = r.K()
+	}
+	if r.K() != idx.k {
+		return 0, fmt.Errorf("coarse: inserted ranking has size %d, want %d: %w",
+			r.K(), idx.k, ranking.ErrSizeMismatch)
+	}
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	id := ranking.ID(len(idx.rankings))
+	idx.rankings = append(idx.rankings, r)
+	idx.n++
+	// Appending may reallocate the backing array; every partition tree holds
+	// a slice header into it and must be rebound before resolving new ids.
+	for i := range idx.clusters {
+		idx.clusters[i].tree.SetRankings(idx.rankings)
+	}
+
+	// Find a partition whose medoid covers r.
+	target := -1
+	if idx.thetaC >= 0 && idx.thetaC < ranking.MaxDistance(idx.k) && idx.medoidIdx.Len() > 0 {
+		s := NewSearcher(idx)
+		hits, err := s.ms.FilterValidate(r, idx.thetaC, ev)
+		if err != nil {
+			return 0, err
+		}
+		if len(hits) > 0 {
+			target = int(hits[0].ID)
+		}
+	} else {
+		for ci, m := range idx.medoids {
+			if ev.Distance(r, idx.rankings[m]) <= idx.thetaC {
+				target = ci
+				break
+			}
+		}
+	}
+
+	if target >= 0 {
+		c := &idx.clusters[target]
+		// Insert below the partition root, preserving the BK invariant. The
+		// partition root is the medoid, so the standard BK insertion path
+		// applies; the rankings backing slice just grew, and both cluster
+		// tree kinds reference it.
+		insertBelow(c.part.Root, id, idx.rankings, ev)
+		c.part.Size++
+		idx.BuildDFC = ev.Calls() + idx.BuildDFC
+		return id, nil
+	}
+
+	// New singleton partition; the ranking becomes a medoid.
+	tree, err := bktree.NewSubset(idx.rankings, []ranking.ID{id}, ev)
+	if err != nil {
+		return 0, err
+	}
+	idx.clusters = append(idx.clusters, cluster{
+		part: bktree.Partition{Medoid: id, Root: tree.Root, Size: 1},
+		tree: tree,
+	})
+	idx.medoids = append(idx.medoids, id)
+	if _, err := idx.medoidIdx.Insert(r); err != nil {
+		return 0, err
+	}
+	idx.BuildDFC += ev.Calls()
+	return id, nil
+}
+
+// insertBelow routes id down a BK-(sub)tree rooted at n, exactly like the
+// construction-time insertion.
+func insertBelow(n *bktree.Node, id ranking.ID, rankings []ranking.Ranking, ev *metric.Evaluator) {
+	obj := rankings[id]
+	cur := n
+	for {
+		d := int32(ev.Distance(obj, rankings[cur.ID]))
+		next := (*bktree.Node)(nil)
+		for i := range cur.Children {
+			if cur.Children[i].Dist == d {
+				next = cur.Children[i].Child
+				break
+			}
+		}
+		if next == nil {
+			cur.Children = append(cur.Children, bktree.Edge{})
+			// Keep children sorted by distance.
+			j := len(cur.Children) - 1
+			for j > 0 && cur.Children[j-1].Dist > d {
+				cur.Children[j] = cur.Children[j-1]
+				j--
+			}
+			cur.Children[j] = bktree.Edge{Dist: d, Child: &bktree.Node{ID: id}}
+			return
+		}
+		cur = next
+	}
+}

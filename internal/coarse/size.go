@@ -1,0 +1,20 @@
+package coarse
+
+// SizeBytes estimates the serialized footprint of the coarse index: the
+// complete rankings, the medoid inverted index (augmented postings over
+// medoid rankings only, which is where the size saving over a plain index
+// comes from), and the partition BK-forest.
+func (idx *Index) SizeBytes() int64 {
+	var sz int64 = 24
+	sz += int64(idx.n) * int64(4*idx.k) // rankings
+	if idx.medoidIdx != nil {
+		// The medoid index's own ranking payload is shared with the global
+		// collection; count only its posting lists.
+		sz += idx.medoidIdx.SizeBytes(true) - int64(idx.medoidIdx.Len())*int64(4*idx.k)
+	}
+	for _, c := range idx.clusters {
+		sz += 8 // medoid id + size
+		sz += int64(c.part.Size) * 12
+	}
+	return sz
+}

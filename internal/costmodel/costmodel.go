@@ -1,0 +1,277 @@
+// Package costmodel implements the assumption-lean cost model of Section 5
+// that picks the coarse index's sweet-spot partitioning threshold θC.
+//
+// The model needs only (a) the distribution of pairwise distances — an
+// empirical CDF P[X ≤ x] sampled from the data, (b) the Zipf skew s of the
+// item popularity, and (c) two calibrated micro-costs: the runtime of one
+// Footrule computation and the per-posting cost of merging index lists.
+//
+// Under the random-medoid clustering of Chávez and Navarro, the number of
+// medoids follows the coupon-collector problem with package size
+// p = P[X ≤ θC]·n (equations 1 and 2):
+//
+//	h(n,i,p) = 1                      if i mod p == 0
+//	           (n−(i mod p))/(n−i)    otherwise
+//	M(n,θC)  = (1/p) Σ_{i=0}^{n−1} h(n,i,p)
+//
+// From M the model derives the expected distinct items among the medoids
+// (equation 6), the expected inverted list length under Zipf item and query
+// popularity (equation 5), and combines them into the filtering and
+// validation costs of Table 3:
+//
+//	filter   = Cost_merge(k, E[len]) + k·E[len]·Cost_footrule(k)
+//	validate = n·P[X ≤ θ+θC]·Cost_footrule(k)
+//
+// The sweet spot is the θC minimizing their sum (Figure 3).
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"topk/internal/ranking"
+	"topk/internal/stats"
+)
+
+// Model carries everything needed to evaluate the coarse index cost at any
+// (θ, θC) pair. Construct it with New and calibrate the micro-costs with
+// Calibrate (or set them explicitly for deterministic tests).
+type Model struct {
+	N int     // number of rankings
+	K int     // ranking size
+	V int     // global number of distinct items
+	S float64 // Zipf skew of item popularity
+
+	// CDF is P[X ≤ x] over raw pairwise Footrule distances.
+	CDF func(rawDist int) float64
+
+	// CostFootrule is the runtime of one Footrule computation at size K, in
+	// nanoseconds.
+	CostFootrule float64
+	// CostMergePerPosting is the runtime to process one posting during the
+	// merge of index lists, in nanoseconds.
+	CostMergePerPosting float64
+	// CostMergeBase is the fixed per-list overhead of the merge, in
+	// nanoseconds.
+	CostMergeBase float64
+}
+
+// New builds a model from an empirical distance CDF and data statistics.
+func New(n, k, v int, zipfS float64, cdf *stats.ECDF) (*Model, error) {
+	if n <= 0 || k <= 0 || v <= 0 {
+		return nil, fmt.Errorf("costmodel: need positive n, k, v (have %d, %d, %d)", n, k, v)
+	}
+	if cdf == nil || cdf.Len() == 0 {
+		return nil, fmt.Errorf("costmodel: empty distance CDF")
+	}
+	return &Model{
+		N:   n,
+		K:   k,
+		V:   v,
+		S:   zipfS,
+		CDF: cdf.P,
+		// Uncalibrated defaults keep the model usable for shape analysis:
+		// one merge step is much cheaper than one Footrule computation.
+		CostFootrule:        60 * float64(k) / 10,
+		CostMergePerPosting: 4,
+		CostMergeBase:       50,
+	}, nil
+}
+
+// Calibrate measures CostFootrule and the merge costs with in-process
+// micro-benchmarks: Footrule over random pairs of size-K rankings, and a
+// posting-merge loop, both repeated until the timer resolution is safely
+// exceeded. Deterministic inputs are drawn from seed.
+func (m *Model) Calibrate(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	mkRanking := func() ranking.Ranking {
+		r := make(ranking.Ranking, 0, m.K)
+		seen := make(map[ranking.Item]struct{}, m.K)
+		for len(r) < m.K {
+			it := ranking.Item(rng.Intn(4 * m.K))
+			if _, dup := seen[it]; dup {
+				continue
+			}
+			seen[it] = struct{}{}
+			r = append(r, it)
+		}
+		return r
+	}
+	const pairs = 256
+	as := make([]ranking.Ranking, pairs)
+	bs := make([]ranking.Ranking, pairs)
+	for i := range as {
+		as[i], bs[i] = mkRanking(), mkRanking()
+	}
+	var sink int
+	// Warm up, then time enough rounds for a stable estimate.
+	for i := range as {
+		sink += ranking.Footrule(as[i], bs[i])
+	}
+	rounds := 64
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for i := range as {
+			sink += ranking.Footrule(as[i], bs[i])
+		}
+	}
+	m.CostFootrule = float64(time.Since(start).Nanoseconds()) / float64(rounds*pairs)
+
+	// Merge calibration: scan-and-aggregate over synthetic posting lists.
+	const listLen = 4096
+	posts := make([]uint32, listLen)
+	for i := range posts {
+		posts[i] = rng.Uint32()
+	}
+	var acc uint32
+	start = time.Now()
+	mergeRounds := 512
+	for r := 0; r < mergeRounds; r++ {
+		for _, p := range posts {
+			if p > acc {
+				acc = p
+			}
+			acc ^= p
+		}
+	}
+	m.CostMergePerPosting = float64(time.Since(start).Nanoseconds()) / float64(mergeRounds*listLen)
+	if m.CostMergePerPosting <= 0 {
+		m.CostMergePerPosting = 0.5
+	}
+	m.CostMergeBase = 20 * m.CostMergePerPosting
+	_ = sink
+	_ = acc
+}
+
+// PackageSize returns p = max(1, P[X ≤ θC]·n), the expected partition size
+// used as the coupon-collector package size.
+func (m *Model) PackageSize(thetaC int) int {
+	p := int(math.Round(m.CDF(thetaC) * float64(m.N)))
+	if p < 1 {
+		p = 1
+	}
+	if p > m.N {
+		p = m.N
+	}
+	return p
+}
+
+// ExpectedMedoids evaluates M(n, θC) (equation 2).
+func (m *Model) ExpectedMedoids(thetaC int) float64 {
+	p := m.PackageSize(thetaC)
+	if p >= m.N {
+		return 1
+	}
+	n := float64(m.N)
+	var total float64
+	for i := 0; i < m.N; i++ {
+		if i%p == 0 {
+			total++
+			continue
+		}
+		total += (n - float64(i%p)) / (n - float64(i))
+	}
+	mm := total / float64(p)
+	if mm < 1 {
+		mm = 1
+	}
+	if mm > n {
+		mm = n
+	}
+	return mm
+}
+
+// ExpectedDistinctItems evaluates E[v′] = v(1 − (1 − k/v)^M) (equation 6):
+// the expected number of distinct items appearing among M medoid rankings.
+func (m *Model) ExpectedDistinctItems(medoids float64) float64 {
+	v := float64(m.V)
+	k := float64(m.K)
+	if k >= v {
+		return v
+	}
+	return v * (1 - math.Pow(1-k/v, medoids))
+}
+
+// ExpectedListLength evaluates E[Y] = Σ_i M·f(i; s, v′)² (equation 5): the
+// expected length of a probed index list when both item popularity in the
+// data and in the queries follow Zipf(s). The sum Σ f² collapses to
+// H_{v′,2s}/H_{v′,s}².
+func (m *Model) ExpectedListLength(medoids float64) float64 {
+	vp := int(math.Ceil(m.ExpectedDistinctItems(medoids)))
+	if vp < 1 {
+		vp = 1
+	}
+	h1 := stats.HarmonicApprox(vp, m.S)
+	h2 := stats.HarmonicApprox(vp, 2*m.S)
+	return medoids * h2 / (h1 * h1)
+}
+
+// Cost is the per-query cost breakdown at one (θ, θC) operating point, in
+// calibrated nanoseconds (Table 3).
+type Cost struct {
+	ThetaC   int
+	Filter   float64
+	Validate float64
+}
+
+// Overall returns filter + validate.
+func (c Cost) Overall() float64 { return c.Filter + c.Validate }
+
+// Evaluate computes the modeled cost at raw thresholds theta and thetaC.
+func (m *Model) Evaluate(theta, thetaC int) Cost {
+	med := m.ExpectedMedoids(thetaC)
+	listLen := m.ExpectedListLength(med)
+	// Find medoids for the query: merge k lists of expected length E[Y],
+	// then validate each retrieved medoid with a Footrule computation.
+	filter := m.CostMergeBase*float64(m.K) +
+		m.CostMergePerPosting*float64(m.K)*listLen +
+		float64(m.K)*listLen*m.CostFootrule
+	// Validate the retrieved partitions: n·P[X ≤ θ+θC] candidates.
+	validate := float64(m.N) * m.CDF(theta+thetaC) * m.CostFootrule
+	return Cost{ThetaC: thetaC, Filter: filter, Validate: validate}
+}
+
+// Sweep evaluates the model over all θC in candidates and returns the
+// per-point costs (the curves of Figure 3).
+func (m *Model) Sweep(theta int, candidates []int) []Cost {
+	out := make([]Cost, 0, len(candidates))
+	for _, tc := range candidates {
+		out = append(out, m.Evaluate(theta, tc))
+	}
+	return out
+}
+
+// OptimalThetaC returns the candidate θC minimizing the modeled overall
+// cost for query threshold theta (the model-chosen sweet spot of Figure 7
+// and Table 5).
+func (m *Model) OptimalThetaC(theta int, candidates []int) int {
+	if len(candidates) == 0 {
+		return 0
+	}
+	best := candidates[0]
+	bestCost := math.Inf(1)
+	for _, tc := range candidates {
+		if c := m.Evaluate(theta, tc).Overall(); c < bestCost {
+			bestCost = c
+			best = tc
+		}
+	}
+	return best
+}
+
+// DefaultGrid returns the θC grid used throughout the evaluation:
+// normalized 0, 0.02, 0.04, …, 0.8 converted to raw distances for size k.
+func DefaultGrid(k int) []int {
+	var grid []int
+	seen := map[int]bool{}
+	for t := 0.0; t <= 0.80001; t += 0.02 {
+		raw := ranking.RawThreshold(t, k)
+		if !seen[raw] {
+			seen[raw] = true
+			grid = append(grid, raw)
+		}
+	}
+	return grid
+}

@@ -1,0 +1,197 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"topk/internal/ranking"
+	"topk/internal/stats"
+)
+
+// syntheticCDF builds an ECDF resembling a clustered collection: a spike of
+// near-duplicates at small distances plus a bulk near dmax.
+func syntheticCDF(seed int64, k int) *stats.ECDF {
+	rng := rand.New(rand.NewSource(seed))
+	dmax := ranking.MaxDistance(k)
+	samples := make([]int, 0, 20000)
+	for i := 0; i < 2000; i++ { // 10% near-duplicates
+		samples = append(samples, rng.Intn(dmax/10))
+	}
+	for i := 0; i < 18000; i++ {
+		samples = append(samples, dmax*6/10+rng.Intn(dmax*4/10))
+	}
+	return stats.NewECDF(samples)
+}
+
+func newModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(25000, 10, 40000, 0.87, syntheticCDF(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	cdf := syntheticCDF(1, 10)
+	if _, err := New(0, 10, 100, 0.5, cdf); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(10, 0, 100, 0.5, cdf); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(10, 10, 0, 0.5, cdf); err == nil {
+		t.Error("v=0 accepted")
+	}
+	if _, err := New(10, 10, 100, 0.5, nil); err == nil {
+		t.Error("nil CDF accepted")
+	}
+	if _, err := New(10, 10, 100, 0.5, stats.NewECDF(nil)); err == nil {
+		t.Error("empty CDF accepted")
+	}
+}
+
+func TestPackageSizeBounds(t *testing.T) {
+	m := newModel(t)
+	if p := m.PackageSize(0); p < 1 {
+		t.Errorf("PackageSize(0) = %d", p)
+	}
+	if p := m.PackageSize(ranking.MaxDistance(10)); p != m.N {
+		t.Errorf("PackageSize(dmax) = %d, want n", p)
+	}
+	prev := 0
+	for tc := 0; tc <= 110; tc += 5 {
+		p := m.PackageSize(tc)
+		if p < prev {
+			t.Fatalf("package size not monotone at θC=%d", tc)
+		}
+		prev = p
+	}
+}
+
+func TestExpectedMedoidsMonotoneDecreasing(t *testing.T) {
+	m := newModel(t)
+	prev := math.Inf(1)
+	for tc := 0; tc <= 110; tc += 5 {
+		med := m.ExpectedMedoids(tc)
+		if med < 1 || med > float64(m.N) {
+			t.Fatalf("M(θC=%d) = %f out of range", tc, med)
+		}
+		if med > prev+1e-9 {
+			t.Fatalf("M not non-increasing at θC=%d: %f > %f", tc, med, prev)
+		}
+		prev = med
+	}
+	// Extremes: θC = dmax gives a single partition.
+	if med := m.ExpectedMedoids(ranking.MaxDistance(10)); med != 1 {
+		t.Fatalf("M(dmax) = %f, want 1", med)
+	}
+}
+
+func TestExpectedMedoidsCouponCollector(t *testing.T) {
+	// With package size 1 (no clustering), every ranking is a medoid:
+	// the coupon-collector degenerates to M = n.
+	cdf := stats.NewECDF([]int{100, 100, 100, 100}) // no mass below 100
+	m, err := New(1000, 10, 5000, 0.8, cdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med := m.ExpectedMedoids(0); math.Abs(med-1000) > 1e-6 {
+		t.Fatalf("M with p=1: %f, want 1000", med)
+	}
+}
+
+func TestExpectedDistinctItems(t *testing.T) {
+	m := newModel(t)
+	// One medoid exposes exactly k items (in expectation ≈ k for v ≫ k).
+	if v1 := m.ExpectedDistinctItems(1); math.Abs(v1-float64(m.K)) > 0.1 {
+		t.Errorf("E[v'|M=1] = %f, want ≈ %d", v1, m.K)
+	}
+	// Monotone in M, bounded by v.
+	prev := 0.0
+	for _, med := range []float64{1, 10, 100, 1000, 25000} {
+		vp := m.ExpectedDistinctItems(med)
+		if vp < prev || vp > float64(m.V) {
+			t.Fatalf("E[v'|M=%f] = %f not monotone/bounded", med, vp)
+		}
+		prev = vp
+	}
+	// k ≥ v edge.
+	m2, _ := New(100, 10, 5, 0.5, syntheticCDF(2, 10))
+	if vp := m2.ExpectedDistinctItems(50); vp != 5 {
+		t.Fatalf("k≥v: E[v'] = %f, want v", vp)
+	}
+}
+
+func TestExpectedListLengthGrowsWithMedoids(t *testing.T) {
+	m := newModel(t)
+	small := m.ExpectedListLength(100)
+	large := m.ExpectedListLength(10000)
+	if small <= 0 || large <= small {
+		t.Fatalf("list length not increasing: %f vs %f", small, large)
+	}
+}
+
+func TestEvaluateTradeoffShape(t *testing.T) {
+	// The defining behaviour of Figure 3: filter cost decreases with θC,
+	// validation cost increases, and the overall curve attains its minimum
+	// strictly inside the grid for clustered data.
+	m := newModel(t)
+	theta := ranking.RawThreshold(0.2, 10)
+	grid := DefaultGrid(10)
+	costs := m.Sweep(theta, grid)
+	if len(costs) != len(grid) {
+		t.Fatal("sweep length mismatch")
+	}
+	for i := 1; i < len(costs); i++ {
+		if costs[i].Filter > costs[i-1].Filter+1e-6 {
+			t.Fatalf("filter cost increased at θC=%d", costs[i].ThetaC)
+		}
+		if costs[i].Validate < costs[i-1].Validate-1e-6 {
+			t.Fatalf("validation cost decreased at θC=%d", costs[i].ThetaC)
+		}
+	}
+	best := m.OptimalThetaC(theta, grid)
+	if best == grid[0] || best == grid[len(grid)-1] {
+		t.Fatalf("sweet spot degenerate at boundary: θC=%d", best)
+	}
+}
+
+func TestOptimalThetaCEmptyGrid(t *testing.T) {
+	m := newModel(t)
+	if got := m.OptimalThetaC(22, nil); got != 0 {
+		t.Fatalf("empty grid: %d", got)
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	m := newModel(t)
+	m.Calibrate(42)
+	if m.CostFootrule <= 0 {
+		t.Fatalf("CostFootrule = %f", m.CostFootrule)
+	}
+	if m.CostMergePerPosting <= 0 {
+		t.Fatalf("CostMergePerPosting = %f", m.CostMergePerPosting)
+	}
+	// A Footrule computation must cost more than one merge step.
+	if m.CostFootrule <= m.CostMergePerPosting {
+		t.Fatalf("Footrule (%f ns) not more expensive than a merge step (%f ns)",
+			m.CostFootrule, m.CostMergePerPosting)
+	}
+}
+
+func TestDefaultGrid(t *testing.T) {
+	grid := DefaultGrid(10)
+	if grid[0] != 0 {
+		t.Fatalf("grid starts at %d", grid[0])
+	}
+	if grid[len(grid)-1] != ranking.RawThreshold(0.8, 10) {
+		t.Fatalf("grid ends at %d", grid[len(grid)-1])
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			t.Fatal("grid not strictly increasing")
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"topk/internal/ranking"
+	"topk/internal/stats"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := NYTLike(1000, 10)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{N: 0, K: 10, V: 100},
+		{N: 10, K: 0, V: 100},
+		{N: 10, K: 300, V: 1000},
+		{N: 10, K: 10, V: 5},
+		{N: 10, K: 10, V: 100, ClusterRate: 1.5},
+		{N: 10, K: 10, V: 100, DuplicateRate: -0.1},
+		{N: 10, K: 10, V: 100, MaxPerturbations: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateBasicProperties(t *testing.T) {
+	for _, cfg := range []Config{NYTLike(3000, 10), YagoLike(3000, 10)} {
+		rs, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != cfg.N {
+			t.Fatalf("generated %d, want %d", len(rs), cfg.N)
+		}
+		for i, r := range rs {
+			if r.K() != cfg.K {
+				t.Fatalf("ranking %d has size %d", i, r.K())
+			}
+			if err := r.Validate(); err != nil {
+				t.Fatalf("ranking %d invalid: %v", i, err)
+			}
+			for _, it := range r {
+				if int(it) >= cfg.V {
+					t.Fatalf("item %d outside domain %d", it, cfg.V)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := NYTLike(500, 10)
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	c, _ := Generate(cfg2)
+	same := 0
+	for i := range a {
+		if a[i].Equal(c[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical collections")
+	}
+}
+
+func TestGenerateSkewMatchesTarget(t *testing.T) {
+	// The fitted Zipf parameter of the generated data should approximate
+	// the configured one. Fresh-only collections (no clustering) track the
+	// sampler most closely; clustering re-uses items and keeps skew similar.
+	for _, want := range []float64{0.53, 0.87} {
+		cfg := Config{N: 8000, K: 10, V: 20000, ZipfS: want, Seed: 3}
+		rs, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := stats.FitZipfHead(stats.ItemFrequencies(rs), 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("target s=%v: fitted %f", want, got)
+		}
+	}
+}
+
+func TestNYTLikeMoreSkewedThanYagoLike(t *testing.T) {
+	nyt, _ := Generate(NYTLike(5000, 10))
+	yago, _ := Generate(YagoLike(5000, 10))
+	sNYT, _ := stats.FitZipfHead(stats.ItemFrequencies(nyt), 500)
+	sYago, _ := stats.FitZipfHead(stats.ItemFrequencies(yago), 500)
+	if sNYT <= sYago {
+		t.Fatalf("NYT-like skew %f not above Yago-like %f", sNYT, sYago)
+	}
+	// NYT-like must also contain more near-duplicate mass: compare the
+	// fraction of pairwise distances below 0.1·dmax.
+	cdfNYT := stats.SampleDistances(nyt, 20000, 5)
+	cdfYago := stats.SampleDistances(yago, 20000, 5)
+	raw := ranking.RawThreshold(0.1, 10)
+	if cdfNYT.P(raw) <= cdfYago.P(raw) {
+		t.Fatalf("NYT-like near-duplicate mass %f not above Yago-like %f",
+			cdfNYT.P(raw), cdfYago.P(raw))
+	}
+}
+
+func TestClusterRateCreatesNearDuplicates(t *testing.T) {
+	clustered := Config{N: 2000, K: 10, V: 5000, ZipfS: 0.8, ClusterRate: 0.6,
+		MaxPerturbations: 3, DuplicateRate: 0.3, Seed: 7}
+	flat := clustered
+	flat.ClusterRate = 0
+	rc, _ := Generate(clustered)
+	rf, _ := Generate(flat)
+	raw := ranking.RawThreshold(0.1, 10)
+	pc := stats.SampleDistances(rc, 20000, 8).P(raw)
+	pf := stats.SampleDistances(rf, 20000, 8).P(raw)
+	if pc <= pf {
+		t.Fatalf("clustering did not raise near-duplicate mass: %f vs %f", pc, pf)
+	}
+	if dup := stats.Summarize(rc, 100, 9).DuplicateRate; dup == 0 {
+		t.Fatal("no exact duplicates generated despite DuplicateRate>0")
+	}
+}
+
+func TestZipfSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	z := NewZipfSampler(1000, 0.87, rng)
+	counts := make([]int, 1000)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Item 0 must be the most frequent; frequencies decay roughly like the
+	// target law: f(1)/f(10) ≈ 10^0.87 ≈ 7.4.
+	maxIdx := 0
+	for i, c := range counts {
+		if c > counts[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if maxIdx > 2 {
+		t.Fatalf("most frequent item is %d, want near 0", maxIdx)
+	}
+	ratio := float64(counts[0]) / float64(counts[9]+1)
+	if ratio < 4 || ratio > 12 {
+		t.Fatalf("f(1)/f(10) = %f, want ≈ 7.4", ratio)
+	}
+}
+
+func TestPerturbStaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	z := NewZipfSampler(500, 0.8, rng)
+	src := ranking.Ranking{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for trial := 0; trial < 500; trial++ {
+		p := Perturb(src, 1+rng.Intn(5), z, rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("perturbed ranking invalid: %v (%v)", err, p)
+		}
+		if p.K() != src.K() {
+			t.Fatal("perturbation changed size")
+		}
+		if src.Overlap(p) == 0 {
+			t.Fatal("perturbation destroyed all overlap")
+		}
+	}
+	// Source must remain untouched.
+	if !src.Equal(ranking.Ranking{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}) {
+		t.Fatal("Perturb mutated its input")
+	}
+}
+
+func TestWorkload(t *testing.T) {
+	cfg := NYTLike(2000, 10)
+	rs, _ := Generate(cfg)
+	qs, err := Workload(rs, cfg, 300, 0.8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 300 {
+		t.Fatalf("workload size %d", len(qs))
+	}
+	for i, q := range qs {
+		if q.K() != cfg.K {
+			t.Fatalf("query %d size %d", i, q.K())
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("query %d invalid: %v", i, err)
+		}
+	}
+	if _, err := Workload(nil, cfg, 10, 0.5, 1); err == nil {
+		t.Fatal("empty collection accepted")
+	}
+	if _, err := Workload(rs, cfg, 0, 0.5, 1); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}
+
+func TestWorkloadMemberQueriesHit(t *testing.T) {
+	// With memberRate 1 and no perturbation randomness guarantee, at least
+	// the exact-copy half of queries must have an exact match in the data.
+	cfg := YagoLike(1000, 10)
+	rs, _ := Generate(cfg)
+	qs, _ := Workload(rs, cfg, 200, 1.0, 13)
+	exact := 0
+	for _, q := range qs {
+		for _, r := range rs {
+			if q.Equal(r) {
+				exact++
+				break
+			}
+		}
+	}
+	if exact < 50 {
+		t.Fatalf("only %d of 200 member queries have exact matches", exact)
+	}
+}

@@ -1,0 +1,36 @@
+package invindex
+
+import (
+	"fmt"
+
+	"topk/internal/ranking"
+)
+
+// Insert appends a ranking to the collection and its postings to the index,
+// returning the new ranking's id. Because ids are assigned in insertion
+// order, every posting list stays id-sorted, so all query algorithms
+// (including ListMerge's merge join) remain correct without rebuilding.
+// Searchers created before the insert must not be reused — their candidate
+// stamp arrays are sized to the old collection; create a fresh Searcher
+// (package topk's facade handles this automatically).
+func (idx *Index) Insert(r ranking.Ranking) (ranking.ID, error) {
+	if idx.k == 0 && len(idx.rankings) == 0 {
+		if r.K() > 255 {
+			return 0, fmt.Errorf("invindex: k=%d exceeds the uint8 rank range", r.K())
+		}
+		idx.k = r.K()
+	}
+	if r.K() != idx.k {
+		return 0, fmt.Errorf("invindex: inserted ranking has size %d, want %d: %w",
+			r.K(), idx.k, ranking.ErrSizeMismatch)
+	}
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	id := ranking.ID(len(idx.rankings))
+	idx.rankings = append(idx.rankings, r)
+	for rank, item := range r {
+		idx.lists[item] = append(idx.lists[item], Posting{ID: id, Rank: uint8(rank)})
+	}
+	return id, nil
+}

@@ -1,0 +1,363 @@
+// Package invindex implements the inverted-index side of the paper:
+// rank-augmented inverted indices over top-k rankings and the query
+// processing algorithms built on them —
+//
+//   - F&V       (Filter and Validate, the baseline of Section 4),
+//   - F&V+Drop  (Lemma 2: entire index lists are dropped, Section 6.1),
+//   - ListMerge (merge of id-sorted, rank-augmented lists with on-the-fly
+//     distance aggregation; threshold-agnostic, Section 7),
+//   - Minimal F&V (the per-query oracle lower bound of Section 7).
+//
+// One Index serves all algorithms: its postings are id-sorted and carry the
+// rank of the item inside the posting's ranking, so the plain algorithms
+// simply ignore the rank. Query processing state (candidate de-duplication
+// stamps) lives in a Searcher; create one Searcher per goroutine.
+package invindex
+
+import (
+	"fmt"
+	"sort"
+
+	"topk/internal/metric"
+	"topk/internal/ranking"
+)
+
+// Posting records that a ranking contains an item at a given rank.
+// Postings within an index list are sorted by ID ascending.
+type Posting struct {
+	ID   ranking.ID
+	Rank uint8 // rank of the item inside the ranking, 0-based (< k ≤ 255)
+}
+
+// Index is a rank-augmented inverted index over a collection of same-size
+// rankings: for every item, the id-sorted list of rankings containing it,
+// together with the item's rank (the "inverted index w/ ranks" of §6.2).
+type Index struct {
+	k        int
+	rankings []ranking.Ranking
+	lists    map[ranking.Item][]Posting
+}
+
+// New indexes the collection. Rankings are referenced, not copied; ids are
+// their positions in the slice.
+func New(rankings []ranking.Ranking) (*Index, error) {
+	idx := &Index{rankings: rankings, lists: make(map[ranking.Item][]Posting)}
+	if len(rankings) == 0 {
+		return idx, nil
+	}
+	idx.k = rankings[0].K()
+	if idx.k > 255 {
+		return nil, fmt.Errorf("invindex: k=%d exceeds the uint8 rank range", idx.k)
+	}
+	for id, r := range rankings {
+		if r.K() != idx.k {
+			return nil, fmt.Errorf("invindex: ranking %d has size %d, want %d: %w",
+				id, r.K(), idx.k, ranking.ErrSizeMismatch)
+		}
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("invindex: ranking %d: %w", id, err)
+		}
+		for rank, item := range r {
+			idx.lists[item] = append(idx.lists[item], Posting{ID: ranking.ID(id), Rank: uint8(rank)})
+		}
+	}
+	return idx, nil
+}
+
+// K returns the ranking size.
+func (idx *Index) K() int { return idx.k }
+
+// Len returns the number of indexed rankings.
+func (idx *Index) Len() int { return len(idx.rankings) }
+
+// Ranking returns the indexed ranking with the given id.
+func (idx *Index) Ranking(id ranking.ID) ranking.Ranking { return idx.rankings[id] }
+
+// Rankings exposes the backing collection (shared, not copied).
+func (idx *Index) Rankings() []ranking.Ranking { return idx.rankings }
+
+// List returns the posting list for an item (nil if the item is unseen).
+// The returned slice is owned by the index and must not be modified.
+func (idx *Index) List(item ranking.Item) []Posting { return idx.lists[item] }
+
+// NumLists returns the number of distinct items (index lists).
+func (idx *Index) NumLists() int { return len(idx.lists) }
+
+// TotalPostings returns the total number of postings, i.e. n·k.
+func (idx *Index) TotalPostings() int {
+	t := 0
+	for _, l := range idx.lists {
+		t += len(l)
+	}
+	return t
+}
+
+// ListLengths returns the multiset of index list lengths, sorted
+// descending. Used by the cost-model validation (expected list length under
+// Zipf) and by the statistics CLI.
+func (idx *Index) ListLengths() []int {
+	ls := make([]int, 0, len(idx.lists))
+	for _, l := range idx.lists {
+		ls = append(ls, len(l))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ls)))
+	return ls
+}
+
+// Searcher holds per-goroutine query processing state for an Index.
+type Searcher struct {
+	idx *Index
+	// Generation-stamped visited marks: stamp[id] == gen means id was
+	// already collected as a candidate for the current query. Avoids both a
+	// per-query map allocation and an O(n) clear.
+	stamp []uint32
+	gen   uint32
+	cands []ranking.ID
+	// Reused list-of-lists scratch for query item postings.
+	qlists [][]Posting
+}
+
+// NewSearcher creates a searcher bound to idx.
+func NewSearcher(idx *Index) *Searcher {
+	return &Searcher{idx: idx, stamp: make([]uint32, len(idx.rankings))}
+}
+
+// Index returns the underlying index.
+func (s *Searcher) Index() *Index { return s.idx }
+
+// nextGen advances the visited generation, clearing stamps lazily.
+func (s *Searcher) nextGen() {
+	s.gen++
+	if s.gen == 0 { // wrapped: hard reset
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+	s.cands = s.cands[:0]
+}
+
+// collect adds the ids of a posting list to the candidate set.
+func (s *Searcher) collect(list []Posting) {
+	for _, p := range list {
+		if s.stamp[p.ID] != s.gen {
+			s.stamp[p.ID] = s.gen
+			s.cands = append(s.cands, p.ID)
+		}
+	}
+}
+
+// FilterValidate answers the query with the baseline F&V algorithm
+// (Section 4): merge all k index lists of the query's items into a
+// candidate set, then validate each candidate with a full Footrule
+// computation against rawTheta.
+func (s *Searcher) FilterValidate(q ranking.Ranking, rawTheta int, ev *metric.Evaluator) ([]ranking.Result, error) {
+	if err := s.checkQuery(q); err != nil {
+		return nil, err
+	}
+	if ev == nil {
+		ev = metric.New(nil)
+	}
+	s.nextGen()
+	for _, item := range q {
+		s.collect(s.idx.lists[item])
+	}
+	return s.validate(q, rawTheta, ev), nil
+}
+
+// validate computes the exact distance of every collected candidate.
+func (s *Searcher) validate(q ranking.Ranking, rawTheta int, ev *metric.Evaluator) []ranking.Result {
+	var out []ranking.Result
+	for _, id := range s.cands {
+		if d := ev.Distance(q, s.idx.rankings[id]); d <= rawTheta {
+			out = append(out, ranking.Result{ID: id, Dist: d})
+		}
+	}
+	ranking.SortResults(out)
+	return out
+}
+
+// DropMode selects how many index lists F&V+Drop may skip.
+type DropMode int
+
+const (
+	// DropSafe keeps k−ω+1 lists: any ranking missing from all kept lists
+	// has overlap ≤ ω−1 with the query and hence distance ≥ L(k, ω−1) >
+	// rawTheta. This bound is airtight for any choice of dropped lists.
+	DropSafe DropMode = iota
+	// DropAggressive keeps k−ω lists with the positional side condition of
+	// Lemma 2 (at least one kept list belongs to a top-ω query position).
+	// NOTE (reproduction finding): the lemma as stated has a boundary gap —
+	// a ranking sharing exactly ω items with the query in a non-top-ω
+	// configuration can still reach distance L(k,ω)+2, which is ≤ rawTheta
+	// whenever rawTheta ≥ L(k,ω)+2. DropAggressive therefore guarantees no
+	// false positives but can, in that narrow boundary region, miss results
+	// whose overlap with the query is exactly ω placed off the top; see
+	// TestDropAggressiveBoundary. DropSafe is the default everywhere.
+	DropAggressive
+)
+
+// FilterValidateDrop answers the query with F&V+Drop (Section 6.1): the
+// required-overlap bound ω of Lemma 2 allows skipping entire index lists.
+// The longest lists are dropped, maximizing the saving; under
+// DropAggressive the positional condition keeps at least one top-ω list.
+func (s *Searcher) FilterValidateDrop(q ranking.Ranking, rawTheta int, ev *metric.Evaluator, mode DropMode) ([]ranking.Result, error) {
+	if err := s.checkQuery(q); err != nil {
+		return nil, err
+	}
+	if ev == nil {
+		ev = metric.New(nil)
+	}
+	kept := s.chooseKeptLists(q, rawTheta, mode)
+	s.nextGen()
+	for _, pos := range kept {
+		s.collect(s.idx.lists[q[pos]])
+	}
+	return s.validate(q, rawTheta, ev), nil
+}
+
+// chooseKeptLists returns the query positions whose index lists must be
+// read. Drops the longest lists first; under DropAggressive it enforces the
+// Lemma 2 positional condition.
+func (s *Searcher) chooseKeptLists(q ranking.Ranking, rawTheta int, mode DropMode) []int {
+	k := len(q)
+	omega := ranking.RequiredOverlap(rawTheta, k)
+	drop := omega - 1
+	if mode == DropAggressive {
+		drop = omega
+	}
+	if drop <= 0 {
+		all := make([]int, k)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	if drop >= k {
+		drop = k - 1 // always read at least one list
+	}
+	// Order positions by list length descending; keep the shortest k−drop.
+	pos := make([]int, k)
+	for i := range pos {
+		pos[i] = i
+	}
+	sort.Slice(pos, func(a, b int) bool {
+		la := len(s.idx.lists[q[pos[a]]])
+		lb := len(s.idx.lists[q[pos[b]]])
+		if la != lb {
+			return la > lb
+		}
+		return pos[a] < pos[b]
+	})
+	kept := pos[drop:]
+	if mode == DropAggressive {
+		// Positional condition: at least one kept list from a top-ω query
+		// position. If violated, swap the longest kept candidate for the
+		// shortest top-ω list.
+		hasTop := false
+		for _, p := range kept {
+			if p < omega {
+				hasTop = true
+				break
+			}
+		}
+		if !hasTop && omega > 0 {
+			bestTop, bestLen := -1, int(^uint(0)>>1)
+			for p := 0; p < omega; p++ {
+				if l := len(s.idx.lists[q[p]]); l < bestLen {
+					bestTop, bestLen = p, l
+				}
+			}
+			// Replace the longest kept list (kept is sorted by length
+			// descending, so index 0 of kept).
+			kept = append([]int{bestTop}, kept[1:]...)
+		}
+	}
+	out := make([]int, len(kept))
+	copy(out, kept)
+	sort.Ints(out)
+	return out
+}
+
+// DroppedLists reports how many of the k index lists FilterValidateDrop
+// would skip for the given threshold; exposed for the evaluation harness.
+func (s *Searcher) DroppedLists(q ranking.Ranking, rawTheta int, mode DropMode) int {
+	return len(q) - len(s.chooseKeptLists(q, rawTheta, mode))
+}
+
+// ListMerge answers the query by a classical merge "join" of the id-sorted,
+// rank-augmented lists (Section 7, "Merge of Id-Sorted Lists with
+// Aggregation"). The exact distance of each encountered ranking is
+// finalized on the fly, one ranking at a time, with no candidate
+// bookkeeping; the algorithm is threshold-agnostic (the lists are always
+// read entirely), which is why its runtime curves in Figures 8/9 are flat.
+//
+// For a candidate τ seen in the lists of matched query items M:
+//
+//	F(τ,q) = Σ_{i∈M} |q(i)−τ(i)| + k(k+1) − Σ_{i∈M} ((k−τ(i)) + (k−q(i)))
+//
+// because the two k(k+1)/2 terms account for all ranks of τ and q as if
+// disjoint and each matched item removes its absent-contribution from both
+// sides. ListMerge does not call the distance function; per the paper it is
+// excluded from the DFC measurements (Figure 10).
+func (s *Searcher) ListMerge(q ranking.Ranking, rawTheta int, _ *metric.Evaluator) ([]ranking.Result, error) {
+	if err := s.checkQuery(q); err != nil {
+		return nil, err
+	}
+	k := len(q)
+	if cap(s.qlists) < k {
+		s.qlists = make([][]Posting, k)
+	}
+	lists := s.qlists[:k]
+	for i, item := range q {
+		lists[i] = s.idx.lists[item]
+	}
+	base := k * (k + 1)
+	var out []ranking.Result
+	// k-way merge by minimal current id.
+	for {
+		cur := ranking.ID(^uint32(0))
+		alive := false
+		for _, l := range lists {
+			if len(l) > 0 && l[0].ID < cur {
+				cur = l[0].ID
+				alive = true
+			}
+		}
+		if !alive {
+			break
+		}
+		d := base
+		for i := range lists {
+			if len(lists[i]) > 0 && lists[i][0].ID == cur {
+				tr := int(lists[i][0].Rank) // τ(item) for item q[i]
+				qr := i                     // q(item)
+				d += abs(qr-tr) - (k - tr) - (k - qr)
+				lists[i] = lists[i][1:]
+			}
+		}
+		if d <= rawTheta {
+			out = append(out, ranking.Result{ID: cur, Dist: d})
+		}
+	}
+	// Results come out id-sorted by construction.
+	return out, nil
+}
+
+func (s *Searcher) checkQuery(q ranking.Ranking) error {
+	if s.idx.Len() == 0 {
+		return nil
+	}
+	if q.K() != s.idx.k {
+		return fmt.Errorf("invindex: query size %d, index size %d: %w",
+			q.K(), s.idx.k, ranking.ErrSizeMismatch)
+	}
+	return q.Validate()
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

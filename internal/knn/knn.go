@@ -1,0 +1,180 @@
+// Package knn adds k-nearest-neighbor queries on top of the range-search
+// structures. The paper targets range (threshold) queries; KNN is the
+// companion query type its related-work section discusses (Fagin's NRA,
+// KNN-to-range transformations à la Bruno et al.), and any practical
+// deployment of a ranking index needs it. Two strategies are provided:
+//
+//   - BestFirst: an exact best-first traversal of a BK-tree using a
+//     max-heap of the current n best candidates; subtrees are pruned with
+//     the triangle inequality against the current n-th best distance.
+//   - Expanding: a generic KNN-to-range reduction for any range-search
+//     index: query with a doubling radius until n results are found, then
+//     tighten to the exact n-th distance. Exact, and efficient whenever the
+//     underlying range search is.
+package knn
+
+import (
+	"container/heap"
+	"sort"
+
+	"topk/internal/bktree"
+	"topk/internal/metric"
+	"topk/internal/ranking"
+)
+
+// resultHeap is a max-heap of results keyed by distance; the root is the
+// current worst of the best n.
+type resultHeap []ranking.Result
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist > h[j].Dist
+	}
+	return h[i].ID > h[j].ID // break ties by id so results are deterministic
+}
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(ranking.Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// worse reports whether candidate (d, id) ranks after the heap root under
+// the same ordering used by resultHeap.Less.
+func worse(root ranking.Result, d int, id ranking.ID) bool {
+	if d != root.Dist {
+		return d > root.Dist
+	}
+	return id > root.ID
+}
+
+// BestFirst returns the n nearest rankings to q in the BK-tree, ordered by
+// distance (ties by id). It is exact: a subtree reached over edge e from a
+// node at distance d can only contain objects at distance ≥ |d − e|, so it
+// is skipped once |d − e| exceeds the current n-th best distance.
+func BestFirst(t *bktree.Tree, q ranking.Ranking, n int, ev *metric.Evaluator) []ranking.Result {
+	if ev == nil {
+		ev = metric.New(nil)
+	}
+	if t.Root == nil || n <= 0 {
+		return nil
+	}
+	best := &resultHeap{}
+	var visit func(node *bktree.Node, d int32)
+	consider := func(id ranking.ID, d int32) {
+		if best.Len() < n {
+			heap.Push(best, ranking.Result{ID: id, Dist: int(d)})
+			return
+		}
+		if worse((*best)[0], int(d), id) {
+			return
+		}
+		(*best)[0] = ranking.Result{ID: id, Dist: int(d)}
+		heap.Fix(best, 0)
+	}
+	visit = func(node *bktree.Node, d int32) {
+		consider(node.ID, d)
+		for _, e := range node.Children {
+			if e.Dist == 0 {
+				// Duplicate chain: child's distance equals the parent's.
+				visit(e.Child, d)
+				continue
+			}
+			if best.Len() == n {
+				gap := d - e.Dist
+				if gap < 0 {
+					gap = -gap
+				}
+				if int(gap) > (*best)[0].Dist {
+					continue // subtree provably outside the current best n
+				}
+			}
+			visit(e.Child, int32(ev.Distance(q, t.Ranking(e.Child.ID))))
+		}
+	}
+	visit(t.Root, int32(ev.Distance(q, t.Ranking(t.Root.ID))))
+
+	out := make([]ranking.Result, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(ranking.Result)
+	}
+	return out
+}
+
+// RangeSearcher is any structure answering exact raw-threshold range
+// queries; all indices in this library qualify.
+type RangeSearcher interface {
+	// Query returns all rankings within rawTheta of q with exact distances.
+	Query(q ranking.Ranking, rawTheta int) ([]ranking.Result, error)
+	// Len returns the collection size.
+	Len() int
+	// K returns the ranking size.
+	K() int
+}
+
+// Expanding answers an exact KNN query through any RangeSearcher by
+// doubling the search radius until at least n results are found, then
+// keeping the n best. Each failed probe at radius r proves there are fewer
+// than n results within r, so the final answer is exact. The probe radius
+// is capped at dmax−1: inverted-index searchers cannot see zero-overlap
+// rankings, but every ranking missing from the dmax−1 result is provably
+// at distance exactly dmax and is back-filled directly, keeping Expanding
+// exact over any of the library's searchers.
+func Expanding(rs RangeSearcher, q ranking.Ranking, n int) ([]ranking.Result, error) {
+	if n <= 0 || rs.Len() == 0 {
+		return nil, nil
+	}
+	if n > rs.Len() {
+		n = rs.Len()
+	}
+	dmax := ranking.MaxDistance(rs.K())
+	cap := dmax - 1
+	radius := 2
+	if radius > cap {
+		radius = cap
+	}
+	for {
+		res, err := rs.Query(q, radius)
+		if err != nil {
+			return nil, err
+		}
+		if len(res) >= n || radius >= cap {
+			if len(res) < n && radius >= cap {
+				res = backfillMax(res, rs.Len(), dmax)
+			}
+			sort.Slice(res, func(i, j int) bool {
+				if res[i].Dist != res[j].Dist {
+					return res[i].Dist < res[j].Dist
+				}
+				return res[i].ID < res[j].ID
+			})
+			if len(res) > n {
+				res = res[:n]
+			}
+			return res, nil
+		}
+		radius *= 2
+		if radius > cap {
+			radius = cap
+		}
+	}
+}
+
+// backfillMax appends every ranking id not present in res with distance
+// dmax (the only distance a ranking outside radius dmax−1 can have).
+func backfillMax(res []ranking.Result, n, dmax int) []ranking.Result {
+	seen := make(map[ranking.ID]bool, len(res))
+	for _, r := range res {
+		seen[r.ID] = true
+	}
+	for id := 0; id < n; id++ {
+		if !seen[ranking.ID(id)] {
+			res = append(res, ranking.Result{ID: ranking.ID(id), Dist: dmax})
+		}
+	}
+	return res
+}

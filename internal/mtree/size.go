@@ -1,0 +1,23 @@
+package mtree
+
+// SizeBytes estimates the serialized footprint of the M-tree: the complete
+// rankings plus, per entry, the routing/object id, parent distance,
+// covering radius and child offset.
+func (t *Tree) SizeBytes() int64 {
+	var sz int64 = 16
+	sz += int64(len(t.rankings)) * int64(4*t.k)
+	var walk func(n *node)
+	walk = func(n *node) {
+		sz += 8 // node header: leaf flag + entry count
+		for i := range n.entries {
+			sz += 4 + 4 + 4 + 4
+			if c := n.entries[i].child; c != nil {
+				walk(c)
+			}
+		}
+	}
+	if t.root != nil {
+		walk(t.root)
+	}
+	return sz
+}

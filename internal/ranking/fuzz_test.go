@@ -1,0 +1,68 @@
+package ranking
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzParse checks that Parse either rejects its input or produces a
+// ranking whose String form parses back to the same value.
+func FuzzParse(f *testing.F) {
+	f.Add("[1, 2, 3]")
+	f.Add("1,2,3")
+	f.Add("")
+	f.Add("[]")
+	f.Add("[4294967295]")
+	f.Add("[1, 1]")
+	f.Add("[1, x]")
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("Parse produced invalid ranking %v: %v", r, err)
+		}
+		back, err := Parse(r.String())
+		if err != nil {
+			t.Fatalf("roundtrip parse failed for %v: %v", r, err)
+		}
+		if !back.Equal(r) {
+			t.Fatalf("roundtrip changed value: %v -> %v", r, back)
+		}
+	})
+}
+
+// FuzzFootruleMetric derives three rankings from the fuzzed seeds and
+// checks the metric axioms plus the Lemma-2 overlap bound.
+func FuzzFootruleMetric(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(3), uint8(10))
+	f.Add(int64(0), int64(0), int64(0), uint8(1))
+	f.Fuzz(func(t *testing.T, sa, sb, sc int64, kSeed uint8) {
+		k := 1 + int(kSeed)%24
+		mk := func(seed int64) Ranking {
+			rng := rand.New(rand.NewSource(seed))
+			return randomRanking(rng, k, 3*k)
+		}
+		a, b, c := mk(sa), mk(sb), mk(sc)
+		ab := Footrule(a, b)
+		if ab != Footrule(b, a) {
+			t.Fatal("symmetry violated")
+		}
+		if (ab == 0) != a.Equal(b) {
+			t.Fatal("identity violated")
+		}
+		if ab < 0 || ab > MaxDistance(k) {
+			t.Fatalf("range violated: %d", ab)
+		}
+		if ab%2 != 0 {
+			t.Fatalf("Footrule parity violated: %d (always even for same-size lists)", ab)
+		}
+		if Footrule(a, c) > ab+Footrule(b, c) {
+			t.Fatal("triangle violated")
+		}
+		if l := MinDistanceOverlap(k, a.Overlap(b)); ab < l {
+			t.Fatalf("overlap bound violated: d=%d < L=%d", ab, l)
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package ranking
+
+import "fmt"
+
+// KendallTauP computes Fagin et al.'s generalized Kendall tau distance
+// K^(p) between two top-k lists, where p ∈ [0, 1] is the penalty assigned
+// to pairs whose relative order cannot be inferred (both items appear in
+// only one of the lists — "Case 4"). p = 0 is the optimistic variant
+// KendallTau implements; p = 1/2 is the neutral variant Fagin et al. show
+// is a "near metric". All other pair cases are decided as in KendallTau.
+// The result is scaled by 2 to stay integral: K2 = 2·K^(p) for p given as
+// num/2 with num ∈ {0, 1, 2}.
+func KendallTauP(a, b Ranking, num2p int) int {
+	if num2p < 0 || num2p > 2 {
+		panic(fmt.Sprintf("ranking: KendallTauP penalty 2p=%d outside [0,2]", num2p))
+	}
+	k := len(a)
+	if len(b) != k {
+		panic(fmt.Sprintf("ranking: KendallTauP on sizes %d and %d", k, len(b)))
+	}
+	base := 2 * KendallTau(a, b) // cases 1–3 contribute identically
+	// Count Case-4 pairs: both i and j in exactly one list and the same one.
+	onlyA := make([]Item, 0, k)
+	onlyB := make([]Item, 0, k)
+	for _, it := range a {
+		if !b.Contains(it) {
+			onlyA = append(onlyA, it)
+		}
+	}
+	for _, it := range b {
+		if !a.Contains(it) {
+			onlyB = append(onlyB, it)
+		}
+	}
+	case4 := len(onlyA)*(len(onlyA)-1)/2 + len(onlyB)*(len(onlyB)-1)/2
+	return base + num2p*case4
+}

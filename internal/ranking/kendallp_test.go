@@ -1,0 +1,90 @@
+package ranking
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKendallTauPOptimisticMatchesKendallTau(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		a := randomRanking(rng, 6, 18)
+		b := randomRanking(rng, 6, 18)
+		if got, want := KendallTauP(a, b, 0), 2*KendallTau(a, b); got != want {
+			t.Fatalf("p=0: %d != 2·K = %d", got, want)
+		}
+	}
+}
+
+func TestKendallTauPMonotoneInPenalty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		a := randomRanking(rng, 7, 21)
+		b := randomRanking(rng, 7, 21)
+		k0 := KendallTauP(a, b, 0)
+		k1 := KendallTauP(a, b, 1)
+		k2 := KendallTauP(a, b, 2)
+		if k0 > k1 || k1 > k2 {
+			t.Fatalf("penalty not monotone: %d %d %d", k0, k1, k2)
+		}
+	}
+}
+
+func TestKendallTauPDisjoint(t *testing.T) {
+	a := Ranking{1, 2, 3}
+	b := Ranking{7, 8, 9}
+	// Cases: all cross pairs discordant (9 pairs, counted by K), plus the
+	// Case-4 pairs inside each side: 2·C(3,2) = 6 pairs at penalty p.
+	if got := KendallTauP(a, b, 0); got != 2*9 {
+		t.Fatalf("p=0 disjoint: %d", got)
+	}
+	if got := KendallTauP(a, b, 1); got != 2*9+6 {
+		t.Fatalf("p=1/2 disjoint: %d", got)
+	}
+	if got := KendallTauP(a, b, 2); got != 2*9+12 {
+		t.Fatalf("p=1 disjoint: %d", got)
+	}
+}
+
+func TestKendallTauPSymmetricAndIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		a := randomRanking(rng, 6, 15)
+		b := randomRanking(rng, 6, 15)
+		for p := 0; p <= 2; p++ {
+			if KendallTauP(a, b, p) != KendallTauP(b, a, p) {
+				t.Fatalf("p=%d not symmetric", p)
+			}
+			if KendallTauP(a, a, p) != 0 {
+				t.Fatalf("p=%d: K(a,a) != 0", p)
+			}
+		}
+	}
+}
+
+// TestKendallTauPNeutralNearMetric: Fagin et al. prove K^(1/2) is a near
+// metric — it satisfies a relaxed triangle inequality with constant 2. Our
+// random search must not find a violation of that relaxed bound.
+func TestKendallTauPNeutralNearMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 2000; trial++ {
+		a := randomRanking(rng, 5, 12)
+		b := randomRanking(rng, 5, 12)
+		c := randomRanking(rng, 5, 12)
+		ac := KendallTauP(a, c, 1)
+		ab := KendallTauP(a, b, 1)
+		bc := KendallTauP(b, c, 1)
+		if ac > 2*(ab+bc) {
+			t.Fatalf("relaxed triangle violated: %d > 2(%d+%d)", ac, ab, bc)
+		}
+	}
+}
+
+func TestKendallTauPPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad penalty accepted")
+		}
+	}()
+	KendallTauP(Ranking{1}, Ranking{2}, 3)
+}

@@ -1,0 +1,27 @@
+package ranking
+
+import "sort"
+
+// Result is a query answer: the id of a ranking whose raw Footrule distance
+// to the query is Dist (≤ the query threshold).
+type Result struct {
+	ID   ID
+	Dist int
+}
+
+// SortResults orders results by id ascending (ids are unique within a
+// collection). All query algorithms in this library return the same result
+// set; sorting makes the sets directly comparable across algorithms and
+// deterministic for golden tests.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ID < rs[j].ID })
+}
+
+// ResultIDs projects the ids out of a result slice.
+func ResultIDs(rs []Result) []ID {
+	ids := make([]ID, len(rs))
+	for i, r := range rs {
+		ids[i] = r.ID
+	}
+	return ids
+}

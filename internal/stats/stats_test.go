@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"topk/internal/ranking"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]int{5, 1, 3, 3, 9})
+	if got := e.P(0); got != 0 {
+		t.Errorf("P(0) = %f", got)
+	}
+	if got := e.P(3); got != 0.6 {
+		t.Errorf("P(3) = %f, want 0.6", got)
+	}
+	if got := e.P(9); got != 1 {
+		t.Errorf("P(9) = %f, want 1", got)
+	}
+	if got := e.P(100); got != 1 {
+		t.Errorf("P(100) = %f, want 1", got)
+	}
+	if e.Len() != 5 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	if got := e.Mean(); math.Abs(got-4.2) > 1e-9 {
+		t.Errorf("Mean = %f, want 4.2", got)
+	}
+	if q := e.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %d", q)
+	}
+	if q := e.Quantile(1); q != 9 {
+		t.Errorf("Quantile(1) = %d", q)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.P(3) != 0 || e.Quantile(0.5) != 0 || e.Mean() != 0 || e.Variance() != 0 {
+		t.Fatal("empty ECDF misbehaves")
+	}
+}
+
+func TestECDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]int, 500)
+	for i := range samples {
+		samples[i] = rng.Intn(200)
+	}
+	e := NewECDF(samples)
+	prev := -1.0
+	for x := -5; x < 210; x++ {
+		p := e.P(x)
+		if p < prev {
+			t.Fatalf("CDF not monotone at %d", x)
+		}
+		prev = p
+	}
+}
+
+func TestIntrinsicDimensionality(t *testing.T) {
+	// Constant distances → infinite concentration.
+	e := NewECDF([]int{7, 7, 7, 7})
+	if !math.IsInf(e.IntrinsicDimensionality(), 1) {
+		t.Error("constant samples should have infinite intrinsic dim")
+	}
+	// Wider spread at same mean → lower ρ.
+	narrow := NewECDF([]int{9, 10, 11, 10})
+	wide := NewECDF([]int{1, 10, 19, 10})
+	if narrow.IntrinsicDimensionality() <= wide.IntrinsicDimensionality() {
+		t.Error("narrower distribution should have higher ρ")
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	if got := Harmonic(1, 1); got != 1 {
+		t.Errorf("H_{1,1} = %f", got)
+	}
+	if got := Harmonic(4, 1); math.Abs(got-(1+0.5+1.0/3+0.25)) > 1e-12 {
+		t.Errorf("H_{4,1} = %f", got)
+	}
+	if got := Harmonic(3, 0); got != 3 {
+		t.Errorf("H_{3,0} = %f, want 3", got)
+	}
+	if got := Harmonic(10, 2); math.Abs(got-1.5497677311665408) > 1e-12 {
+		t.Errorf("H_{10,2} = %f", got)
+	}
+}
+
+func TestHarmonicApproxAccuracy(t *testing.T) {
+	for _, s := range []float64{0.53, 0.87, 1.0, 1.5, 2.0} {
+		for _, v := range []int{100, 2048, 5000, 100000} {
+			exact := Harmonic(v, s)
+			approx := HarmonicApprox(v, s)
+			if rel := math.Abs(exact-approx) / exact; rel > 1e-3 {
+				t.Errorf("s=%v v=%d: exact %f approx %f rel err %e", s, v, exact, approx, rel)
+			}
+		}
+	}
+}
+
+func TestZipfFrequencySumsToOne(t *testing.T) {
+	for _, s := range []float64{0.5, 1.0, 1.7} {
+		v := 500
+		h := Harmonic(v, s)
+		var sum float64
+		for i := 1; i <= v; i++ {
+			sum += ZipfFrequency(i, s, v, h)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("s=%v: frequencies sum to %f", s, sum)
+		}
+	}
+}
+
+func TestFitZipfRecoversParameter(t *testing.T) {
+	for _, s := range []float64{0.53, 0.87, 1.2} {
+		v := 2000
+		h := Harmonic(v, s)
+		freqs := make([]int, v)
+		total := 1e7
+		for i := 1; i <= v; i++ {
+			freqs[i-1] = int(total * ZipfFrequency(i, s, v, h))
+		}
+		got, err := FitZipf(freqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-s) > 0.05 {
+			t.Errorf("FitZipf: got %f, want %f", got, s)
+		}
+	}
+}
+
+func TestFitZipfErrors(t *testing.T) {
+	if _, err := FitZipf(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FitZipf([]int{5}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := FitZipf([]int{0, 0, 0}); err == nil {
+		t.Error("all-zero input accepted")
+	}
+}
+
+func TestItemFrequencies(t *testing.T) {
+	rs := []ranking.Ranking{{1, 2, 3}, {1, 2, 4}, {1, 5, 6}}
+	freqs := ItemFrequencies(rs)
+	if len(freqs) != 6 {
+		t.Fatalf("distinct items = %d, want 6", len(freqs))
+	}
+	if freqs[0] != 3 || freqs[1] != 2 {
+		t.Fatalf("freqs = %v", freqs)
+	}
+}
+
+func TestSampleDistancesRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rs := make([]ranking.Ranking, 100)
+	for i := range rs {
+		r := make(ranking.Ranking, 0, 10)
+		seen := map[ranking.Item]struct{}{}
+		for len(r) < 10 {
+			it := ranking.Item(rng.Intn(40))
+			if _, d := seen[it]; d {
+				continue
+			}
+			seen[it] = struct{}{}
+			r = append(r, it)
+		}
+		rs[i] = r
+	}
+	e := SampleDistances(rs, 2000, 3)
+	if e.Len() != 2000 {
+		t.Fatalf("sampled %d", e.Len())
+	}
+	if e.Quantile(0) < 0 || e.Quantile(1) > ranking.MaxDistance(10) {
+		t.Fatal("distance out of range")
+	}
+	// Deterministic under the same seed.
+	e2 := SampleDistances(rs, 2000, 3)
+	if e.Mean() != e2.Mean() {
+		t.Fatal("sampling not deterministic for fixed seed")
+	}
+	if got := SampleDistances(rs[:1], 10, 1); got.Len() != 0 {
+		t.Fatal("single-ranking collection should yield no pairs")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, min, max := Histogram([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if min != 0 || max != 9 {
+		t.Fatalf("min=%d max=%d", min, max)
+	}
+	for i, c := range counts {
+		if c != 2 {
+			t.Fatalf("bucket %d = %d, want 2", i, c)
+		}
+	}
+	if c, _, _ := Histogram(nil, 5); c != nil {
+		t.Fatal("empty histogram not nil")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rs := []ranking.Ranking{
+		{1, 2, 3}, {1, 2, 3}, {4, 5, 6}, {1, 2, 4},
+	}
+	sum := Summarize(rs, 100, 4)
+	if sum.N != 4 || sum.K != 3 {
+		t.Fatalf("N=%d K=%d", sum.N, sum.K)
+	}
+	if sum.DistinctItems != 6 {
+		t.Fatalf("DistinctItems = %d", sum.DistinctItems)
+	}
+	if sum.DuplicateRate != 0.25 {
+		t.Fatalf("DuplicateRate = %f", sum.DuplicateRate)
+	}
+	if Summarize(nil, 10, 1).N != 0 {
+		t.Fatal("empty summary")
+	}
+}

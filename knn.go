@@ -1,0 +1,126 @@
+package topk
+
+import (
+	"fmt"
+
+	"topk/internal/blocked"
+	"topk/internal/coarse"
+	"topk/internal/invindex"
+	"topk/internal/knn"
+	"topk/internal/ranking"
+)
+
+// NearestNeighborSearcher is implemented by every index in this package:
+// exact k-nearest-neighbor queries alongside the range queries of Index.
+type NearestNeighborSearcher interface {
+	// NearestNeighbors returns the n indexed rankings closest to q, ordered
+	// by distance (ties broken by id). The answer is exact.
+	NearestNeighbors(q Ranking, n int) ([]Result, error)
+}
+
+// rangeAdapter lifts an internal searcher into knn.RangeSearcher.
+type rangeAdapter struct {
+	query func(q Ranking, rawTheta int) ([]Result, error)
+	n, k  int
+}
+
+func (a rangeAdapter) Query(q ranking.Ranking, rawTheta int) ([]ranking.Result, error) {
+	return a.query(q, rawTheta)
+}
+func (a rangeAdapter) Len() int { return a.n }
+func (a rangeAdapter) K() int   { return a.k }
+
+// NearestNeighbors implements NearestNeighborSearcher with an exact
+// best-first BK-tree traversal for BKTree, and the expanding-radius
+// reduction otherwise.
+func (t *MetricTree) NearestNeighbors(q Ranking, n int) ([]Result, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if q.K() != t.k {
+		return nil, fmt.Errorf("topk: query size %d, index size %d: %w",
+			q.K(), t.k, ranking.ErrSizeMismatch)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if t.kind == BKTree {
+		return knn.BestFirst(t.bk, q, n, t.ev), nil
+	}
+	return knn.Expanding(rangeAdapter{
+		query: func(q Ranking, raw int) ([]Result, error) { return t.rawSearch(q, raw) },
+		n:     len(t.rs), k: t.k,
+	}, q, n)
+}
+
+// rawSearch answers a raw-threshold range query (lock held by caller).
+func (t *MetricTree) rawSearch(q Ranking, raw int) ([]Result, error) {
+	var out []Result
+	switch t.kind {
+	case BKTree:
+		out = t.bk.RangeSearchResults(q, raw, t.ev)
+	case MTree:
+		for _, id := range t.mt.RangeSearch(q, raw, t.ev) {
+			out = append(out, Result{ID: id, Dist: ranking.Footrule(q, t.rs[id])})
+		}
+	case VPTree:
+		for _, id := range t.vp.RangeSearch(q, raw, t.ev) {
+			out = append(out, Result{ID: id, Dist: ranking.Footrule(q, t.rs[id])})
+		}
+	}
+	ranking.SortResults(out)
+	return out, nil
+}
+
+// NearestNeighbors implements NearestNeighborSearcher via the
+// expanding-radius reduction over the coarse index's range search.
+func (c *CoarseIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mode := coarse.FV
+	if c.drop {
+		mode = coarse.FVDrop
+	}
+	return knn.Expanding(rangeAdapter{
+		query: func(q Ranking, raw int) ([]Result, error) {
+			return c.search.Query(q, raw, c.ev, mode)
+		},
+		n: c.idx.Len(), k: c.k,
+	}, q, n)
+}
+
+// NearestNeighbors implements NearestNeighborSearcher via the
+// expanding-radius reduction over the configured algorithm.
+func (ii *InvertedIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
+	ii.mu.Lock()
+	defer ii.mu.Unlock()
+	return knn.Expanding(rangeAdapter{
+		query: func(q Ranking, raw int) ([]Result, error) {
+			switch ii.alg {
+			case FilterValidate:
+				return ii.search.FilterValidate(q, raw, ii.ev)
+			case ListMerge:
+				return ii.search.ListMerge(q, raw, ii.ev)
+			default:
+				return ii.search.FilterValidateDrop(q, raw, ii.ev, invindex.DropSafe)
+			}
+		},
+		n: ii.idx.Len(), k: ii.k,
+	}, q, n)
+}
+
+// NearestNeighbors implements NearestNeighborSearcher via the
+// expanding-radius reduction over the blocked range search.
+func (b *BlockedIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	mode := blocked.Prune
+	if b.mode == blocked.PruneDrop {
+		mode = blocked.PruneDrop
+	}
+	return knn.Expanding(rangeAdapter{
+		query: func(q Ranking, raw int) ([]Result, error) {
+			return b.search.Query(q, raw, b.ev, mode)
+		},
+		n: b.idx.Len(), k: b.k,
+	}, q, n)
+}

@@ -1,0 +1,487 @@
+// Package topk is a library for ad-hoc similarity search over top-k
+// rankings under Spearman's Footrule distance, implementing the EDBT 2015
+// paper "The Sweet Spot between Inverted Indices and Metric-Space Indexing
+// for Top-K-List Similarity Search" (Milchevski, Anand, Michel).
+//
+// Given a collection of fixed-size, duplicate-free top-k lists, every index
+// in this package answers range queries exactly: all rankings within a
+// normalized Footrule distance θ ∈ [0,1] of the query. The flagship
+// structure is the CoarseIndex — a hybrid that clusters near-duplicate
+// rankings into BK-tree partitions around medoids and keeps only the
+// medoids in an inverted index, with a cost model that picks the
+// partitioning threshold automatically (AutoTune). Classic alternatives
+// (plain and blocked inverted indices, BK-, M- and VP-trees, the
+// AdaptSearch prefix filter) are provided both as baselines and because
+// each has a regime where it wins; see the package examples and README.
+//
+// All Search methods are safe for concurrent use; each index serializes
+// its internal per-query scratch state with a mutex. For maximum
+// single-thread throughput on many goroutines, create one index per
+// goroutine (construction shares the ranking storage).
+package topk
+
+import (
+	"fmt"
+	"sync"
+
+	"topk/internal/bktree"
+	"topk/internal/blocked"
+	"topk/internal/coarse"
+	"topk/internal/costmodel"
+	"topk/internal/invindex"
+	"topk/internal/metric"
+	"topk/internal/mtree"
+	"topk/internal/ranking"
+	"topk/internal/stats"
+	"topk/internal/vptree"
+)
+
+// Ranking is a fixed-size top-k list of item ids; index 0 is the top rank.
+type Ranking = ranking.Ranking
+
+// Item identifies a ranked item.
+type Item = ranking.Item
+
+// ID identifies a ranking inside an indexed collection (its position in
+// the slice passed to the constructor).
+type ID = ranking.ID
+
+// Result is one query answer: the ranking's ID and its raw (integer)
+// Footrule distance to the query.
+type Result = ranking.Result
+
+// Distance returns the raw Spearman's Footrule distance between two
+// rankings of the same size k, in [0, k(k+1)].
+func Distance(a, b Ranking) int { return ranking.Footrule(a, b) }
+
+// NormalizedDistance returns the Footrule distance normalized into [0, 1].
+func NormalizedDistance(a, b Ranking) float64 { return ranking.NormalizedFootrule(a, b) }
+
+// KendallTau returns the top-k Kendall tau distance (optimistic variant,
+// penalty 0) between two rankings of the same size.
+func KendallTau(a, b Ranking) int { return ranking.KendallTau(a, b) }
+
+// MaxDistance returns the maximum Footrule distance k(k+1) of size-k
+// rankings.
+func MaxDistance(k int) int { return ranking.MaxDistance(k) }
+
+// ParseRanking parses "[1, 2, 3]", "1,2,3" or "1 2 3".
+func ParseRanking(s string) (Ranking, error) { return ranking.Parse(s) }
+
+// Index is the common query interface of every structure in this package.
+type Index interface {
+	// Search returns all indexed rankings within normalized Footrule
+	// distance theta of q, sorted by ID, with exact distances.
+	Search(q Ranking, theta float64) ([]Result, error)
+	// Len returns the number of indexed rankings.
+	Len() int
+	// K returns the ranking size.
+	K() int
+	// DistanceCalls returns the cumulative number of Footrule evaluations
+	// performed by queries since construction (the paper's DFC measure).
+	DistanceCalls() uint64
+}
+
+func validateCollection(rankings []Ranking) (int, error) {
+	if len(rankings) == 0 {
+		return 0, fmt.Errorf("topk: empty collection")
+	}
+	k := rankings[0].K()
+	for i, r := range rankings {
+		if r.K() != k {
+			return 0, fmt.Errorf("topk: ranking %d has size %d, want %d: %w",
+				i, r.K(), k, ranking.ErrSizeMismatch)
+		}
+		if err := r.Validate(); err != nil {
+			return 0, fmt.Errorf("topk: ranking %d: %w", i, err)
+		}
+	}
+	return k, nil
+}
+
+// ---------------------------------------------------------------------------
+// CoarseIndex
+// ---------------------------------------------------------------------------
+
+// CoarseIndex is the paper's hybrid index: near-duplicate rankings are
+// grouped into partitions of radius θC around medoid rankings; only the
+// medoids live in an inverted index; partitions are validated by BK-trees.
+type CoarseIndex struct {
+	mu     sync.Mutex
+	idx    *coarse.Index
+	search *coarse.Searcher
+	ev     *metric.Evaluator
+	k      int
+	drop   bool
+	thetaC float64
+}
+
+// CoarseOption configures NewCoarseIndex.
+type CoarseOption func(*coarseConfig)
+
+type coarseConfig struct {
+	thetaC     float64
+	autoTune   bool
+	maxTheta   float64
+	randMedoid bool
+	seed       int64
+	drop       bool
+}
+
+// WithThetaC fixes the normalized partitioning threshold θC (default 0.5,
+// the paper's setting for query thresholds up to 0.3).
+func WithThetaC(thetaC float64) CoarseOption {
+	return func(c *coarseConfig) { c.thetaC = thetaC; c.autoTune = false }
+}
+
+// WithAutoTune lets the Section 5 cost model choose θC for the largest
+// query threshold the application will use. This is the paper's headline
+// "sweet spot" feature.
+func WithAutoTune(maxTheta float64) CoarseOption {
+	return func(c *coarseConfig) { c.autoTune = true; c.maxTheta = maxTheta }
+}
+
+// WithRandomMedoids switches partitioning from the BK-tree cut to the
+// Chávez–Navarro random-medoid scheme (the clustering the cost model
+// reasons about).
+func WithRandomMedoids(seed int64) CoarseOption {
+	return func(c *coarseConfig) { c.randMedoid = true; c.seed = seed }
+}
+
+// WithListDropping enables the F&V+Drop filtering on the medoid index
+// ("Coarse+Drop"). Pair it with a small θC (the paper uses 0.06).
+func WithListDropping() CoarseOption {
+	return func(c *coarseConfig) { c.drop = true }
+}
+
+// NewCoarseIndex builds a coarse index over the collection.
+func NewCoarseIndex(rankings []Ranking, opts ...CoarseOption) (*CoarseIndex, error) {
+	k, err := validateCollection(rankings)
+	if err != nil {
+		return nil, err
+	}
+	cfg := coarseConfig{thetaC: 0.5}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.autoTune {
+		tc, err := tuneThetaC(rankings, k, cfg.maxTheta)
+		if err != nil {
+			return nil, err
+		}
+		cfg.thetaC = tc
+	}
+	copts := coarse.Options{Seed: cfg.seed}
+	if cfg.randMedoid {
+		copts.Strategy = coarse.RandomMedoids
+	}
+	idx, err := coarse.New(rankings, ranking.RawThreshold(cfg.thetaC, k), copts)
+	if err != nil {
+		return nil, err
+	}
+	return &CoarseIndex{
+		idx:    idx,
+		search: coarse.NewSearcher(idx),
+		ev:     metric.New(nil),
+		k:      k,
+		drop:   cfg.drop,
+		thetaC: cfg.thetaC,
+	}, nil
+}
+
+// tuneThetaC runs the cost model end to end: sample the distance CDF, fit
+// the Zipf skew, calibrate micro-costs, and minimize over the default grid.
+func tuneThetaC(rankings []Ranking, k int, maxTheta float64) (float64, error) {
+	cdf := stats.SampleDistances(rankings, 20000, 1)
+	freqs := stats.ItemFrequencies(rankings)
+	s, err := stats.FitZipfHead(freqs, 500)
+	if err != nil {
+		return 0, fmt.Errorf("topk: autotune: %w", err)
+	}
+	m, err := costmodel.New(len(rankings), k, len(freqs), s, cdf)
+	if err != nil {
+		return 0, fmt.Errorf("topk: autotune: %w", err)
+	}
+	m.Calibrate(1)
+	raw := m.OptimalThetaC(ranking.RawThreshold(maxTheta, k), costmodel.DefaultGrid(k))
+	return float64(raw) / float64(ranking.MaxDistance(k)), nil
+}
+
+// Search implements Index.
+func (c *CoarseIndex) Search(q Ranking, theta float64) ([]Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mode := coarse.FV
+	if c.drop {
+		mode = coarse.FVDrop
+	}
+	return c.search.Query(q, ranking.RawThreshold(theta, c.k), c.ev, mode)
+}
+
+// Len implements Index.
+func (c *CoarseIndex) Len() int { return c.idx.Len() }
+
+// K implements Index.
+func (c *CoarseIndex) K() int { return c.k }
+
+// DistanceCalls implements Index.
+func (c *CoarseIndex) DistanceCalls() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ev.Calls()
+}
+
+// ThetaC reports the (possibly auto-tuned) partitioning threshold in use.
+func (c *CoarseIndex) ThetaC() float64 { return c.thetaC }
+
+// NumPartitions reports how many medoid partitions the index holds.
+func (c *CoarseIndex) NumPartitions() int { return c.idx.NumPartitions() }
+
+// ---------------------------------------------------------------------------
+// InvertedIndex
+// ---------------------------------------------------------------------------
+
+// Algorithm selects the query processing strategy of an InvertedIndex.
+type Algorithm int
+
+const (
+	// FilterValidate is the baseline F&V: merge all k lists, validate each
+	// candidate.
+	FilterValidate Algorithm = iota
+	// FilterValidateDrop additionally drops whole index lists using the
+	// Lemma 2 overlap bound (safe variant).
+	FilterValidateDrop
+	// ListMerge merges id-sorted rank-augmented lists, finalizing exact
+	// distances on the fly; threshold-agnostic.
+	ListMerge
+)
+
+// InvertedIndex is the rank-augmented inverted index with the paper's
+// filter-and-validate algorithm family.
+type InvertedIndex struct {
+	mu     sync.Mutex
+	idx    *invindex.Index
+	search *invindex.Searcher
+	ev     *metric.Evaluator
+	k      int
+	alg    Algorithm
+}
+
+// InvOption configures NewInvertedIndex.
+type InvOption func(*InvertedIndex)
+
+// WithAlgorithm selects the query strategy (default FilterValidateDrop,
+// the best all-round performer of the evaluation).
+func WithAlgorithm(a Algorithm) InvOption {
+	return func(ii *InvertedIndex) { ii.alg = a }
+}
+
+// NewInvertedIndex builds a rank-augmented inverted index.
+func NewInvertedIndex(rankings []Ranking, opts ...InvOption) (*InvertedIndex, error) {
+	k, err := validateCollection(rankings)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := invindex.New(rankings)
+	if err != nil {
+		return nil, err
+	}
+	ii := &InvertedIndex{
+		idx:    idx,
+		search: invindex.NewSearcher(idx),
+		ev:     metric.New(nil),
+		k:      k,
+		alg:    FilterValidateDrop,
+	}
+	for _, o := range opts {
+		o(ii)
+	}
+	return ii, nil
+}
+
+// Search implements Index.
+func (ii *InvertedIndex) Search(q Ranking, theta float64) ([]Result, error) {
+	ii.mu.Lock()
+	defer ii.mu.Unlock()
+	raw := ranking.RawThreshold(theta, ii.k)
+	switch ii.alg {
+	case FilterValidate:
+		return ii.search.FilterValidate(q, raw, ii.ev)
+	case FilterValidateDrop:
+		return ii.search.FilterValidateDrop(q, raw, ii.ev, invindex.DropSafe)
+	case ListMerge:
+		return ii.search.ListMerge(q, raw, ii.ev)
+	default:
+		return nil, fmt.Errorf("topk: unknown algorithm %d", ii.alg)
+	}
+}
+
+// Len implements Index.
+func (ii *InvertedIndex) Len() int { return ii.idx.Len() }
+
+// K implements Index.
+func (ii *InvertedIndex) K() int { return ii.k }
+
+// DistanceCalls implements Index.
+func (ii *InvertedIndex) DistanceCalls() uint64 {
+	ii.mu.Lock()
+	defer ii.mu.Unlock()
+	return ii.ev.Calls()
+}
+
+// ---------------------------------------------------------------------------
+// BlockedIndex
+// ---------------------------------------------------------------------------
+
+// BlockedIndex is the inverted index with rank-sorted lists, per-rank block
+// offsets and NRA-style early accept/reject (Blocked+Prune[+Drop]).
+type BlockedIndex struct {
+	mu     sync.Mutex
+	idx    *blocked.Index
+	search *blocked.Searcher
+	ev     *metric.Evaluator
+	k      int
+	mode   blocked.Mode
+}
+
+// BlockedOption configures NewBlockedIndex.
+type BlockedOption func(*BlockedIndex)
+
+// WithBlockedDrop additionally drops whole lists (Blocked+Prune+Drop).
+func WithBlockedDrop() BlockedOption {
+	return func(b *BlockedIndex) { b.mode = blocked.PruneDrop }
+}
+
+// NewBlockedIndex builds the blocked index.
+func NewBlockedIndex(rankings []Ranking, opts ...BlockedOption) (*BlockedIndex, error) {
+	k, err := validateCollection(rankings)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := blocked.New(rankings)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockedIndex{
+		idx:    idx,
+		search: blocked.NewSearcher(idx),
+		ev:     metric.New(nil),
+		k:      k,
+		mode:   blocked.Prune,
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b, nil
+}
+
+// Search implements Index.
+func (b *BlockedIndex) Search(q Ranking, theta float64) ([]Result, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.search.Query(q, ranking.RawThreshold(theta, b.k), b.ev, b.mode)
+}
+
+// Len implements Index.
+func (b *BlockedIndex) Len() int { return b.idx.Len() }
+
+// K implements Index.
+func (b *BlockedIndex) K() int { return b.k }
+
+// DistanceCalls implements Index.
+func (b *BlockedIndex) DistanceCalls() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ev.Calls()
+}
+
+// ---------------------------------------------------------------------------
+// Metric trees
+// ---------------------------------------------------------------------------
+
+// TreeKind selects the metric tree structure.
+type TreeKind int
+
+const (
+	// BKTree is the Burkhard–Keller tree (the paper's choice for discrete
+	// metrics and the coarse index's partition representation).
+	BKTree TreeKind = iota
+	// MTree is the balanced M-tree of Ciaccia et al.
+	MTree
+	// VPTree is the vantage-point tree.
+	VPTree
+)
+
+// MetricTree is a pure metric-space index over the collection.
+type MetricTree struct {
+	mu   sync.Mutex
+	kind TreeKind
+	bk   *bktree.Tree
+	mt   *mtree.Tree
+	vp   *vptree.Tree
+	rs   []Ranking
+	ev   *metric.Evaluator
+	k    int
+}
+
+// NewMetricTree builds a metric tree of the given kind.
+func NewMetricTree(rankings []Ranking, kind TreeKind) (*MetricTree, error) {
+	k, err := validateCollection(rankings)
+	if err != nil {
+		return nil, err
+	}
+	t := &MetricTree{kind: kind, rs: rankings, ev: metric.New(nil), k: k}
+	switch kind {
+	case BKTree:
+		t.bk, err = bktree.New(rankings, nil)
+	case MTree:
+		t.mt, err = mtree.New(rankings, nil)
+	case VPTree:
+		t.vp, err = vptree.New(rankings, nil)
+	default:
+		err = fmt.Errorf("topk: unknown tree kind %d", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Search implements Index.
+func (t *MetricTree) Search(q Ranking, theta float64) ([]Result, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if q.K() != t.k {
+		return nil, fmt.Errorf("topk: query size %d, index size %d: %w",
+			q.K(), t.k, ranking.ErrSizeMismatch)
+	}
+	raw := ranking.RawThreshold(theta, t.k)
+	var out []Result
+	switch t.kind {
+	case BKTree:
+		out = t.bk.RangeSearchResults(q, raw, t.ev)
+	case MTree:
+		for _, id := range t.mt.RangeSearch(q, raw, t.ev) {
+			out = append(out, Result{ID: id, Dist: ranking.Footrule(q, t.rs[id])})
+		}
+	case VPTree:
+		for _, id := range t.vp.RangeSearch(q, raw, t.ev) {
+			out = append(out, Result{ID: id, Dist: ranking.Footrule(q, t.rs[id])})
+		}
+	}
+	ranking.SortResults(out)
+	return out, nil
+}
+
+// Len implements Index.
+func (t *MetricTree) Len() int { return len(t.rs) }
+
+// K implements Index.
+func (t *MetricTree) K() int { return t.k }
+
+// DistanceCalls implements Index.
+func (t *MetricTree) DistanceCalls() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ev.Calls()
+}
