@@ -1,4 +1,4 @@
-package topk
+package topk_test
 
 // Benchmark harness: one testing.B benchmark per table and figure of the
 // paper's evaluation (Section 7). Shapes to look for, not absolute numbers:
@@ -17,6 +17,8 @@ package topk
 // The topkbench CLI prints the same experiments as full tables.
 
 import (
+	"topk"
+
 	"sync"
 	"testing"
 
@@ -154,7 +156,7 @@ func BenchmarkFigure7CoarseThetaCSweep(b *testing.B) {
 	for _, thetaC := range []float64{0.05, 0.2, 0.5, 0.7} {
 		thetaC := thetaC
 		b.Run("thetaC="+ftoa(thetaC), func(b *testing.B) {
-			idx, err := NewCoarseIndex(nyt.Rankings, WithThetaC(thetaC))
+			idx, err := topk.NewCoarseIndex(nyt.Rankings, topk.WithThetaC(thetaC))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -172,7 +174,7 @@ func BenchmarkFigure7CoarseThetaCSweep(b *testing.B) {
 
 func BenchmarkTable5ModelChosenThetaC(b *testing.B) {
 	nyt, _ := envs(b)
-	idx, err := NewCoarseIndex(nyt.Rankings, WithAutoTune(0.2))
+	idx, err := topk.NewCoarseIndex(nyt.Rankings, topk.WithAutoTune(0.2))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -241,7 +243,7 @@ func BenchmarkTable6Construction(b *testing.B) {
 	rs := nyt.Rankings
 	b.Run("AugmentedInvertedIndex", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			idx, err := NewInvertedIndex(rs)
+			idx, err := topk.NewInvertedIndex(rs)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -250,7 +252,7 @@ func BenchmarkTable6Construction(b *testing.B) {
 	})
 	b.Run("BlockedInvertedIndex", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			idx, err := NewBlockedIndex(rs)
+			idx, err := topk.NewBlockedIndex(rs)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -259,7 +261,7 @@ func BenchmarkTable6Construction(b *testing.B) {
 	})
 	b.Run("BKTree", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			idx, err := NewMetricTree(rs, BKTree)
+			idx, err := topk.NewMetricTree(rs, topk.BKTree)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -268,7 +270,7 @@ func BenchmarkTable6Construction(b *testing.B) {
 	})
 	b.Run("MTree", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			idx, err := NewMetricTree(rs, MTree)
+			idx, err := topk.NewMetricTree(rs, topk.MTree)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -277,7 +279,7 @@ func BenchmarkTable6Construction(b *testing.B) {
 	})
 	b.Run("CoarseIndex", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			idx, err := NewCoarseIndex(rs, WithThetaC(0.5))
+			idx, err := topk.NewCoarseIndex(rs, topk.WithThetaC(0.5))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -295,14 +297,14 @@ func BenchmarkAblationPartitioner(b *testing.B) {
 	nyt, _ := envs(b)
 	for _, variant := range []struct {
 		name string
-		opts []CoarseOption
+		opts []topk.CoarseOption
 	}{
-		{"BKTreeCut", []CoarseOption{WithThetaC(0.3)}},
-		{"RandomMedoids", []CoarseOption{WithThetaC(0.3), WithRandomMedoids(7)}},
+		{"BKTreeCut", []topk.CoarseOption{topk.WithThetaC(0.3)}},
+		{"RandomMedoids", []topk.CoarseOption{topk.WithThetaC(0.3), topk.WithRandomMedoids(7)}},
 	} {
 		variant := variant
 		b.Run(variant.name, func(b *testing.B) {
-			idx, err := NewCoarseIndex(nyt.Rankings, variant.opts...)
+			idx, err := topk.NewCoarseIndex(nyt.Rankings, variant.opts...)
 			if err != nil {
 				b.Fatal(err)
 			}

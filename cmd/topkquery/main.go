@@ -5,10 +5,17 @@
 //
 //	topkquery -data rankings.txt -index coarse -q "[3, 1, 4, 1, 5]" -theta 0.2
 //	topkgen -preset nyt -n 5000 | topkquery -data - -index coarse -interactive
+//	topkquery -data rankings.txt -save-snapshot rankings.bin
+//	topkquery -load-snapshot rankings.bin -index blocked -q "[1, 2, 3]"
 //
 // The -index flag selects the structure: coarse (default, auto-tuned),
 // coarse-drop, inverted, inverted-drop, merge, blocked, blocked-drop,
 // bktree, mtree, vptree.
+//
+// -save-snapshot writes the loaded collection in the binary format of
+// internal/persist; -load-snapshot starts from such a snapshot instead of
+// parsing text, skipping the parse cost on repeat runs. The same snapshots
+// are accepted by topkserve -load-snapshot and topkgen -format binary.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"time"
 
 	"topk"
+	"topk/internal/persist"
 )
 
 func main() {
@@ -31,17 +39,39 @@ func main() {
 		theta       = flag.Float64("theta", 0.2, "normalized distance threshold in [0,1]")
 		interactive = flag.Bool("interactive", false, "read queries from stdin after loading")
 		maxTheta    = flag.Float64("maxtheta", 0.3, "auto-tune target threshold for the coarse index")
+		saveSnap    = flag.String("save-snapshot", "", "write the loaded collection as a binary snapshot to this path")
+		loadSnap    = flag.String("load-snapshot", "", "load the collection from a binary snapshot instead of -data")
 	)
 	flag.Parse()
 
-	if *dataPath == "" {
-		fmt.Fprintln(os.Stderr, "missing -data")
+	if *dataPath == "" && *loadSnap == "" {
+		fmt.Fprintln(os.Stderr, "missing -data or -load-snapshot")
 		os.Exit(2)
 	}
-	rankings, err := loadRankings(*dataPath)
+	if *dataPath != "" && *loadSnap != "" {
+		fmt.Fprintln(os.Stderr, "pass either -data or -load-snapshot, not both")
+		os.Exit(2)
+	}
+	var rankings []topk.Ranking
+	var err error
+	if *loadSnap != "" {
+		rankings, err = loadSnapshot(*loadSnap)
+	} else {
+		rankings, err = loadRankings(*dataPath)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *saveSnap != "" {
+		if err := saveSnapshot(*saveSnap, rankings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot of %d rankings written to %s\n", len(rankings), *saveSnap)
+		if *query == "" && !*interactive {
+			return
+		}
 	}
 	start := time.Now()
 	idx, err := buildIndex(*indexKind, rankings, *maxTheta)
@@ -94,6 +124,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -q or -interactive")
 		os.Exit(2)
 	}
+}
+
+// loadSnapshot reads a binary collection snapshot (persist format).
+func loadSnapshot(path string) ([]topk.Ranking, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return persist.ReadRankings(f)
+}
+
+// saveSnapshot writes the collection in the persist binary format.
+func saveSnapshot(path string, rs []topk.Ranking) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := persist.WriteRankings(f, rs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadRankings(path string) ([]topk.Ranking, error) {

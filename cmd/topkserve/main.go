@@ -1,0 +1,302 @@
+// Command topkserve is a sharded concurrent query service for top-k-list
+// similarity search: it partitions a ranking collection across S sub-indices
+// (one per core by default), fans every query out to all shards in parallel,
+// and serves exact range queries over HTTP.
+//
+// Usage:
+//
+//	topkgen -preset nyt -n 50000 | topkserve -data - -index coarse
+//	topkserve -load-snapshot rankings.bin -index blocked-drop -shards 8
+//
+// Endpoints:
+//
+//	POST /search   {"query":[1,2,3],"theta":0.2}            single query
+//	               {"queries":[[1,2,3],[4,5,6]],"theta":0.2} batch
+//	GET  /stats    collection, per-shard Len/DistanceCalls/latency histograms
+//	GET  /healthz  liveness probe
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"topk"
+	"topk/internal/persist"
+	"topk/internal/ranking"
+	"topk/internal/shard"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dataPath = flag.String("data", "", "collection path (- = stdin), one ranking per line")
+		snapPath = flag.String("load-snapshot", "", "binary collection snapshot (see topkgen -format binary / topkquery -save-snapshot)")
+		kind     = flag.String("index", "coarse", "coarse|coarse-drop|inverted|inverted-drop|merge|blocked|blocked-drop|bktree|mtree|vptree")
+		shards   = flag.Int("shards", 0, "number of shards (0 = GOMAXPROCS)")
+		maxTheta = flag.Float64("maxtheta", 0.3, "auto-tune target threshold for the coarse index")
+	)
+	flag.Parse()
+
+	rankings, err := loadCollection(*dataPath, *snapPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	sh, err := shard.New(rankings, *shards, builderFor(*kind, *maxTheta))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "indexed %d rankings (k=%d) as %d %s shards in %v\n",
+		sh.Len(), sh.K(), sh.NumShards(), *kind, time.Since(start).Round(time.Millisecond))
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(sh, *kind).routes()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+	}()
+	fmt.Fprintf(os.Stderr, "listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// loadCollection reads the collection either from a text file of rankings or
+// from a persist snapshot; exactly one source must be given.
+func loadCollection(dataPath, snapPath string) ([]ranking.Ranking, error) {
+	switch {
+	case dataPath != "" && snapPath != "":
+		return nil, fmt.Errorf("pass either -data or -load-snapshot, not both")
+	case snapPath != "":
+		f, err := os.Open(snapPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return persist.ReadRankings(f)
+	case dataPath != "":
+		var r io.Reader
+		if dataPath == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(dataPath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			r = f
+		}
+		var out []ranking.Ranking
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			rk, err := topk.ParseRanking(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", len(out)+1, err)
+			}
+			out = append(out, rk)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("missing -data or -load-snapshot")
+	}
+}
+
+// builderFor returns the shard builder for an index kind name.
+func builderFor(kind string, maxTheta float64) shard.Builder {
+	return func(rs []ranking.Ranking) (shard.Index, error) {
+		switch kind {
+		case "coarse":
+			return topk.NewCoarseIndex(rs, topk.WithAutoTune(maxTheta))
+		case "coarse-drop":
+			return topk.NewCoarseIndex(rs, topk.WithThetaC(0.06), topk.WithListDropping())
+		case "inverted":
+			return topk.NewInvertedIndex(rs, topk.WithAlgorithm(topk.FilterValidate))
+		case "inverted-drop":
+			return topk.NewInvertedIndex(rs)
+		case "merge":
+			return topk.NewInvertedIndex(rs, topk.WithAlgorithm(topk.ListMerge))
+		case "blocked":
+			return topk.NewBlockedIndex(rs)
+		case "blocked-drop":
+			return topk.NewBlockedIndex(rs, topk.WithBlockedDrop())
+		case "bktree":
+			return topk.NewMetricTree(rs, topk.BKTree)
+		case "mtree":
+			return topk.NewMetricTree(rs, topk.MTree)
+		case "vptree":
+			return topk.NewMetricTree(rs, topk.VPTree)
+		default:
+			return nil, fmt.Errorf("unknown index kind %q", kind)
+		}
+	}
+}
+
+// server holds the shared sharded index and request counters.
+type server struct {
+	sh      *shard.Sharded
+	kind    string
+	started time.Time
+	queries atomic.Uint64
+}
+
+func newServer(sh *shard.Sharded, kind string) *server {
+	return &server{sh: sh, kind: kind, started: time.Now()}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /search", s.handleSearch)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// searchRequest is the /search payload: exactly one of Query or Queries.
+type searchRequest struct {
+	Query   ranking.Ranking   `json:"query,omitempty"`
+	Queries []ranking.Ranking `json:"queries,omitempty"`
+	Theta   float64           `json:"theta"`
+}
+
+// resultJSON augments a raw result with its normalized distance.
+type resultJSON struct {
+	ID       ranking.ID `json:"id"`
+	Dist     int        `json:"dist"`
+	NormDist float64    `json:"normDist"`
+}
+
+type answerJSON struct {
+	Count   int          `json:"count"`
+	Results []resultJSON `json:"results"`
+}
+
+type searchResponse struct {
+	TookMicros int64        `json:"tookMicros"`
+	Count      int          `json:"count,omitempty"`
+	Results    []resultJSON `json:"results,omitempty"`
+	Answers    []answerJSON `json:"answers,omitempty"`
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if (req.Query == nil) == (req.Queries == nil) {
+		httpError(w, http.StatusBadRequest, "pass exactly one of \"query\" or \"queries\"")
+		return
+	}
+	if req.Theta < 0 || req.Theta > 1 {
+		httpError(w, http.StatusBadRequest, "theta %v outside [0,1]", req.Theta)
+		return
+	}
+	queries := req.Queries
+	if req.Query != nil {
+		queries = []ranking.Ranking{req.Query}
+	}
+	for i, q := range queries {
+		if q.K() != s.sh.K() {
+			httpError(w, http.StatusBadRequest, "query %d has size %d, index has k=%d", i, q.K(), s.sh.K())
+			return
+		}
+		if err := q.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+	}
+
+	start := time.Now()
+	answers, err := s.sh.SearchBatch(queries, req.Theta)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "search: %v", err)
+		return
+	}
+	s.queries.Add(uint64(len(queries)))
+	resp := searchResponse{TookMicros: time.Since(start).Microseconds()}
+	if req.Query != nil {
+		resp.Count = len(answers[0])
+		resp.Results = s.toJSON(answers[0])
+	} else {
+		resp.Answers = make([]answerJSON, len(answers))
+		for i, a := range answers {
+			resp.Answers[i] = answerJSON{Count: len(a), Results: s.toJSON(a)}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) toJSON(rs []ranking.Result) []resultJSON {
+	dmax := float64(topk.MaxDistance(s.sh.K()))
+	out := make([]resultJSON, len(rs))
+	for i, r := range rs {
+		out[i] = resultJSON{ID: r.ID, Dist: r.Dist, NormDist: float64(r.Dist) / dmax}
+	}
+	return out
+}
+
+type statsResponse struct {
+	Index         string             `json:"index"`
+	N             int                `json:"n"`
+	K             int                `json:"k"`
+	NumShards     int                `json:"numShards"`
+	Queries       uint64             `json:"queries"`
+	DistanceCalls uint64             `json:"distanceCalls"`
+	UptimeSeconds float64            `json:"uptimeSeconds"`
+	Shards        []shard.ShardStats `json:"shards"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Index:         s.kind,
+		N:             s.sh.Len(),
+		K:             s.sh.K(),
+		NumShards:     s.sh.NumShards(),
+		Queries:       s.queries.Load(),
+		DistanceCalls: s.sh.DistanceCalls(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Shards:        s.sh.Stats(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"topk"
+	"topk/internal/dataset"
+	"topk/internal/persist"
+	"topk/internal/ranking"
+	"topk/internal/shard"
+)
+
+func testServer(t *testing.T) (*server, []ranking.Ranking, []ranking.Ranking) {
+	t.Helper()
+	cfg := dataset.NYTLike(400, 10)
+	rs, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := dataset.Workload(rs, cfg, 10, 0.8, cfg.Seed+1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := shard.New(rs, 4, builderFor("coarse", 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(sh, "coarse"), rs, qs
+}
+
+func postSearch(t *testing.T, h http.Handler, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader(b))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestSearchSingle(t *testing.T) {
+	srv, rs, qs := testServer(t)
+	h := srv.routes()
+	ref, err := topk.NewCoarseIndex(rs, topk.WithThetaC(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		rec := postSearch(t, h, map[string]any{"query": q, "theta": 0.2})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		var resp searchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Search(q, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Count != len(want) || len(resp.Results) != len(want) {
+			t.Fatalf("count %d, want %d", resp.Count, len(want))
+		}
+		for i, r := range resp.Results {
+			if r.ID != want[i].ID || r.Dist != want[i].Dist {
+				t.Fatalf("result %d: got (%d,%d), want (%d,%d)", i, r.ID, r.Dist, want[i].ID, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestSearchBatch(t *testing.T) {
+	srv, _, qs := testServer(t)
+	h := srv.routes()
+	rec := postSearch(t, h, map[string]any{"queries": qs, "theta": 0.2})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != len(qs) {
+		t.Fatalf("answers %d, want %d", len(resp.Answers), len(qs))
+	}
+	// Batch answers must match the corresponding single-query answers.
+	for i, q := range qs {
+		single := postSearch(t, h, map[string]any{"query": q, "theta": 0.2})
+		var sresp searchResponse
+		if err := json.Unmarshal(single.Body.Bytes(), &sresp); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(resp.Answers[i].Results, sresp.Results) &&
+			!(len(resp.Answers[i].Results) == 0 && len(sresp.Results) == 0) {
+			t.Fatalf("query %d: batch answer diverges from single answer", i)
+		}
+	}
+}
+
+func TestSearchRejectsBadInput(t *testing.T) {
+	srv, _, qs := testServer(t)
+	h := srv.routes()
+	cases := []map[string]any{
+		{"theta": 0.2}, // neither query nor queries
+		{"query": qs[0], "queries": qs, "theta": 0.2},                   // both
+		{"query": qs[0], "theta": 1.5},                                  // theta out of range
+		{"query": []uint32{1, 2}, "theta": 0.2},                         // wrong k
+		{"query": []uint32{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, "theta": 0.2}, // duplicate items
+	}
+	for i, c := range cases {
+		if rec := postSearch(t, h, c); rec.Code != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d, want 400 (%s)", i, rec.Code, rec.Body)
+		}
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	srv, _, qs := testServer(t)
+	h := srv.routes()
+	postSearch(t, h, map[string]any{"queries": qs, "theta": 0.2})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.NumShards != 4 || st.N != 400 || st.K != 10 || st.Index != "coarse" {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+	if st.Queries != uint64(len(qs)) {
+		t.Fatalf("queries %d, want %d", st.Queries, len(qs))
+	}
+	if st.DistanceCalls == 0 {
+		t.Fatal("no distance calls recorded")
+	}
+	for _, s := range st.Shards {
+		if s.Latency.Count == 0 {
+			t.Fatalf("shard %d saw no queries", s.Shard)
+		}
+	}
+}
+
+func TestLoadCollectionSnapshot(t *testing.T) {
+	rs, err := dataset.Generate(dataset.NYTLike(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rankings.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := persist.WriteRankings(f, rs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := loadCollection("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rs) {
+		t.Fatal("snapshot round-trip diverges")
+	}
+	if _, err := loadCollection("x", path); err == nil {
+		t.Fatal("expected error for both -data and -load-snapshot")
+	}
+	if _, err := loadCollection("", ""); err == nil {
+		t.Fatal("expected error for no source")
+	}
+}

@@ -1,24 +1,19 @@
 package topk
 
 import (
-	"topk/internal/coarse"
-	"topk/internal/invindex"
+	"topk/internal/metric"
 	"topk/internal/ranking"
 )
 
 // Insert adds a ranking to the indexed collection and returns its new ID.
 // The inverted index supports incremental maintenance natively (posting
-// lists stay id-sorted because ids grow monotonically); the internal query
-// state is re-created so subsequent Search calls see the new ranking.
+// lists stay id-sorted because ids grow monotonically). Insert excludes
+// concurrent Search calls for its (short) duration; pooled searchers grow
+// their scratch state lazily, so they stay valid across the insert.
 func (ii *InvertedIndex) Insert(r Ranking) (ID, error) {
 	ii.mu.Lock()
 	defer ii.mu.Unlock()
-	id, err := ii.idx.Insert(r)
-	if err != nil {
-		return 0, err
-	}
-	ii.search = invindex.NewSearcher(ii.idx)
-	return id, nil
+	return ii.idx.Insert(r)
 }
 
 // Insert adds a ranking to the coarse index and returns its new ID. Per
@@ -27,7 +22,9 @@ func (ii *InvertedIndex) Insert(r Ranking) (ID, error) {
 // index with Lemma 1's relaxation — a zero-radius query at threshold θC);
 // otherwise it becomes the medoid of a fresh singleton partition. The
 // partition invariant d(medoid, member) ≤ θC is preserved exactly, so all
-// query-time guarantees carry over.
+// query-time guarantees carry over. Insert excludes concurrent Search calls
+// for its duration; insert-time distance computations count toward the
+// index's construction cost (BuildDFC), not DistanceCalls.
 func (c *CoarseIndex) Insert(r Ranking) (ID, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -37,11 +34,5 @@ func (c *CoarseIndex) Insert(r Ranking) (ID, error) {
 	if r.K() != c.k {
 		return 0, ranking.ErrSizeMismatch
 	}
-	id, err := c.idx.Insert(r, c.ev)
-	if err != nil {
-		return 0, err
-	}
-	// The medoid set may have grown; rebind the searcher.
-	c.search = coarse.NewSearcher(c.idx)
-	return id, nil
+	return c.idx.Insert(r, metric.New(nil))
 }

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"topk"
+	"topk/internal/ranking"
+	"topk/internal/shard"
+)
+
+// ParallelGoroutineCounts is the default load-generator fan-out grid:
+// powers of two up to GOMAXPROCS (always including 1 and GOMAXPROCS).
+func ParallelGoroutineCounts() []int {
+	maxProcs := runtime.GOMAXPROCS(0)
+	set := map[int]bool{1: true, maxProcs: true}
+	for g := 2; g < maxProcs; g *= 2 {
+		set[g] = true
+	}
+	gs := make([]int, 0, len(set))
+	for g := range set {
+		gs = append(gs, g)
+	}
+	sort.Ints(gs)
+	return gs
+}
+
+// throughput answers totalQueries range queries against idx from g
+// goroutines (work distributed by an atomic ticket counter) and reports
+// queries per second.
+func throughput(idx shard.Index, queries []ranking.Ranking, theta float64, g, totalQueries int) (float64, error) {
+	var next atomic.Int64
+	errs := make([]error, g)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= totalQueries {
+					return
+				}
+				if _, err := idx.Search(queries[i%len(queries)], theta); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(totalQueries) / elapsed.Seconds(), nil
+}
+
+// ParallelThroughput measures multicore query throughput: one shared index
+// per structure, queried by 1..GOMAXPROCS load-generator goroutines, plus a
+// sharded coarse index (internal/shard, one sub-index per core) under the
+// same load. Cells are queries/second; the spread across a row is the
+// concurrency speedup the pooled scratch state (and, for the sharded row,
+// per-query fan-out) buys on this machine.
+func ParallelThroughput(env *Env, theta float64, goroutines []int, rounds int) (Table, error) {
+	if len(goroutines) == 0 {
+		goroutines = ParallelGoroutineCounts()
+	}
+	if rounds <= 0 {
+		rounds = 4
+	}
+	totalQueries := rounds * len(env.Queries)
+
+	type contender struct {
+		name  string
+		build func() (shard.Index, error)
+	}
+	contenders := []contender{
+		{"Coarse (shared)", func() (shard.Index, error) {
+			return topk.NewCoarseIndex(env.Rankings, topk.WithThetaC(0.5))
+		}},
+		{"F&V+Drop (shared)", func() (shard.Index, error) {
+			return topk.NewInvertedIndex(env.Rankings)
+		}},
+		{"Blocked+Prune (shared)", func() (shard.Index, error) {
+			return topk.NewBlockedIndex(env.Rankings)
+		}},
+		{"Coarse (sharded)", func() (shard.Index, error) {
+			return shard.New(env.Rankings, 0, func(rs []ranking.Ranking) (shard.Index, error) {
+				return topk.NewCoarseIndex(rs, topk.WithThetaC(0.5))
+			})
+		}},
+	}
+
+	cols := []string{"algorithm"}
+	for _, g := range goroutines {
+		cols = append(cols, fmt.Sprintf("QPS@%dg", g))
+	}
+	t := Table{
+		Title: fmt.Sprintf("Parallel query throughput (%s, n=%d, θ=%.2f, %d queries, GOMAXPROCS=%d)",
+			env.Name, len(env.Rankings), theta, totalQueries, runtime.GOMAXPROCS(0)),
+		Columns: cols,
+	}
+	for _, c := range contenders {
+		idx, err := c.build()
+		if err != nil {
+			return t, err
+		}
+		row := []string{c.name}
+		for _, g := range goroutines {
+			qps, err := throughput(idx, env.Queries, theta, g, totalQueries)
+			if err != nil {
+				return t, err
+			}
+			row = append(row, fmt.Sprintf("%.0f", qps))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

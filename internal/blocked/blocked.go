@@ -108,7 +108,9 @@ func (idx *Index) NumLists() int { return len(idx.lists) }
 
 // Searcher carries the per-query candidate bookkeeping: generation-stamped
 // dense arrays holding, per candidate, the partial distance and bitmasks of
-// the τ-ranks and q-ranks already accounted for. One Searcher per goroutine.
+// the τ-ranks and q-ranks already accounted for. A Searcher serves one query
+// at a time: use one per goroutine, or share an index between goroutines
+// through a Pool.
 type Searcher struct {
 	idx     *Index
 	stamp   []uint32

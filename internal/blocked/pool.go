@@ -1,0 +1,29 @@
+package blocked
+
+import "sync"
+
+// Pool hands out Searchers for concurrent queries against one immutable
+// Index. The per-query bookkeeping arrays (five dense O(n) arrays) are by
+// far the most expensive scratch state of any structure in this library;
+// pooling them is what makes concurrent Search on a shared blocked index
+// allocation-free and contention-free.
+type Pool struct {
+	idx *Index
+	p   sync.Pool
+}
+
+// NewPool creates a searcher pool bound to idx.
+func NewPool(idx *Index) *Pool {
+	p := &Pool{idx: idx}
+	p.p.New = func() any { return NewSearcher(idx) }
+	return p
+}
+
+// Index returns the underlying index.
+func (p *Pool) Index() *Index { return p.idx }
+
+// Get returns a searcher ready for one query; return it with Put.
+func (p *Pool) Get() *Searcher { return p.p.Get().(*Searcher) }
+
+// Put returns a searcher to the pool.
+func (p *Pool) Put(s *Searcher) { p.p.Put(s) }

@@ -16,8 +16,10 @@ import (
 // degenerate θC ≥ dmax configuration), or it founds a new singleton
 // partition and its ranking becomes a medoid in the inverted index.
 //
-// Searchers created before the insert must be discarded; the topk facade
-// re-creates them automatically.
+// Searchers created before the insert stay valid (their medoid-index
+// scratch grows lazily on the next query), but Insert must not run
+// concurrently with queries; the topk facade serializes them with an
+// RWMutex.
 func (idx *Index) Insert(r ranking.Ranking, ev *metric.Evaluator) (ranking.ID, error) {
 	if ev == nil {
 		ev = metric.New(nil)

@@ -1,0 +1,28 @@
+package coarse
+
+import "sync"
+
+// Pool hands out Searchers for concurrent queries against one Index. A
+// coarse Searcher wraps an inverted-index searcher over the medoid index,
+// whose stamp array grows lazily with the collection, so pooled searchers
+// remain valid across Insert.
+type Pool struct {
+	idx *Index
+	p   sync.Pool
+}
+
+// NewPool creates a searcher pool bound to idx.
+func NewPool(idx *Index) *Pool {
+	p := &Pool{idx: idx}
+	p.p.New = func() any { return NewSearcher(idx) }
+	return p
+}
+
+// Index returns the underlying index.
+func (p *Pool) Index() *Index { return p.idx }
+
+// Get returns a searcher ready for one query; return it with Put.
+func (p *Pool) Get() *Searcher { return p.p.Get().(*Searcher) }
+
+// Put returns a searcher to the pool.
+func (p *Pool) Put(s *Searcher) { p.p.Put(s) }

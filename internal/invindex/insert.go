@@ -10,9 +10,10 @@ import (
 // returning the new ranking's id. Because ids are assigned in insertion
 // order, every posting list stays id-sorted, so all query algorithms
 // (including ListMerge's merge join) remain correct without rebuilding.
-// Searchers created before the insert must not be reused — their candidate
-// stamp arrays are sized to the old collection; create a fresh Searcher
-// (package topk's facade handles this automatically).
+// Searchers created before the insert stay valid — they grow their
+// candidate stamp arrays to the new collection size on their next query —
+// but Insert must not run concurrently with queries (package topk's facade
+// serializes them with an RWMutex).
 func (idx *Index) Insert(r ranking.Ranking) (ranking.ID, error) {
 	if idx.k == 0 && len(idx.rankings) == 0 {
 		if r.K() > 255 {

@@ -11,7 +11,9 @@
 // One Index serves all algorithms: its postings are id-sorted and carry the
 // rank of the item inside the posting's ranking, so the plain algorithms
 // simply ignore the rank. Query processing state (candidate de-duplication
-// stamps) lives in a Searcher; create one Searcher per goroutine.
+// stamps) lives in a Searcher; a Searcher serves one query at a time, so use
+// one per goroutine — or draw them from a Pool, which is how the topk facade
+// lets any number of goroutines query a shared index concurrently.
 package invindex
 
 import (
@@ -125,8 +127,14 @@ func NewSearcher(idx *Index) *Searcher {
 // Index returns the underlying index.
 func (s *Searcher) Index() *Index { return s.idx }
 
-// nextGen advances the visited generation, clearing stamps lazily.
+// nextGen advances the visited generation, clearing stamps lazily. It also
+// grows the stamp array when the collection has grown since the searcher was
+// created (or last used), so pooled searchers survive Insert without being
+// discarded.
 func (s *Searcher) nextGen() {
+	if n := len(s.idx.rankings); len(s.stamp) < n {
+		s.stamp = append(s.stamp, make([]uint32, n-len(s.stamp))...)
+	}
 	s.gen++
 	if s.gen == 0 { // wrapped: hard reset
 		for i := range s.stamp {

@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers latencies from <1µs (bucket 0) up to ~32s; bucket b
+// counts observations with ceil(log2(µs)) == b, i.e. exponentially growing
+// upper bounds 1µs, 2µs, 4µs, … Observations beyond the last bound land in
+// the final bucket.
+const numBuckets = 26
+
+// Histogram is a fixed-bucket, lock-free latency histogram. All methods are
+// safe for concurrent use; Observe is two atomic adds on the hot path.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	maxNs   atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	us := uint64(d.Microseconds())
+	if us <= 1 {
+		return 0
+	}
+	b := bits.Len64(us - 1) // ceil(log2(us))
+	if b >= numBuckets {
+		return numBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns the inclusive upper bound of bucket b in microseconds.
+func BucketBound(b int) uint64 { return uint64(1) << uint(b) }
+
+// Observe records one query latency.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d.Nanoseconds())
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	h.buckets[bucketFor(d)].Add(1)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, with quantiles
+// estimated as the upper bound of the bucket containing the quantile rank
+// (an over-estimate by at most 2x, the bucket growth factor).
+type HistogramSnapshot struct {
+	Count      uint64   `json:"count"`
+	MeanMicros float64  `json:"meanMicros"`
+	MaxMicros  float64  `json:"maxMicros"`
+	P50Micros  float64  `json:"p50Micros"`
+	P95Micros  float64  `json:"p95Micros"`
+	P99Micros  float64  `json:"p99Micros"`
+	Buckets    []uint64 `json:"buckets,omitempty"` // count per exponential µs bucket
+}
+
+// Snapshot copies the histogram's counters. Concurrent Observes may land
+// between the individual loads; each counter is itself consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanMicros = float64(h.sumNs.Load()) / float64(s.Count) / 1e3
+	s.MaxMicros = float64(h.maxNs.Load()) / 1e3
+	var bs [numBuckets]uint64
+	var total uint64
+	hi := 0
+	for i := range bs {
+		bs[i] = h.buckets[i].Load()
+		total += bs[i]
+		if bs[i] > 0 {
+			hi = i
+		}
+	}
+	s.Buckets = append([]uint64(nil), bs[:hi+1]...)
+	s.P50Micros = quantile(bs[:], total, 0.50)
+	s.P95Micros = quantile(bs[:], total, 0.95)
+	s.P99Micros = quantile(bs[:], total, 0.99)
+	return s
+}
+
+// quantile returns the upper bound (µs) of the bucket holding rank q·total.
+func quantile(bs []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range bs {
+		cum += c
+		if cum > rank {
+			return float64(BucketBound(i))
+		}
+	}
+	return float64(BucketBound(len(bs) - 1))
+}

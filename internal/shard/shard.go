@@ -1,0 +1,242 @@
+// Package shard partitions a ranking collection across S independent
+// sub-indices and fans every query out to all of them in parallel. It is
+// the scale-out layer of the library: one shard per core turns the exact
+// range query of the EDBT'15 structures into an embarrassingly parallel
+// scatter-gather whose merge is a plain concatenation.
+//
+// Sharding is by contiguous ID range: shard i indexes the rankings
+// [offset_i, offset_i + len_i) of the collection, so a shard-local result
+// ID maps back to the global ID by adding the shard's offset, and because
+// every index in this library returns results sorted by ID, concatenating
+// the per-shard answers in shard order yields the globally ID-sorted
+// result set — byte-identical to querying one unsharded index over the
+// whole collection.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"topk/internal/ranking"
+)
+
+// Index is the structural subset of the public topk.Index interface the
+// sharding layer needs; every index kind of package topk satisfies it, and
+// so does Sharded itself (shards can in principle be nested).
+type Index interface {
+	// Search returns all indexed rankings within normalized Footrule
+	// distance theta of q, sorted by ID, with exact distances.
+	Search(q ranking.Ranking, theta float64) ([]ranking.Result, error)
+	// Len returns the number of indexed rankings.
+	Len() int
+	// K returns the ranking size.
+	K() int
+	// DistanceCalls returns the cumulative number of Footrule evaluations.
+	DistanceCalls() uint64
+}
+
+// Builder constructs one sub-index over a contiguous slice of the
+// collection. The slice aliases the caller's collection; builders must not
+// modify it.
+type Builder func(rankings []ranking.Ranking) (Index, error)
+
+// Sharded is a collection partitioned across independent sub-indices.
+// All methods are safe for concurrent use (given sub-indices with
+// concurrency-safe Search, which every topk index provides).
+type Sharded struct {
+	shards  []Index
+	offsets []ranking.ID // global ID of shard i's first ranking
+	hists   []*Histogram // per-shard query latency
+	k       int
+	n       int
+}
+
+// New partitions the collection into numShards contiguous, near-equal
+// chunks and builds one sub-index per chunk with build, in parallel.
+// numShards ≤ 0 selects GOMAXPROCS; the shard count is capped at the
+// collection size.
+func New(rankings []ranking.Ranking, numShards int, build Builder) (*Sharded, error) {
+	if len(rankings) == 0 {
+		return nil, fmt.Errorf("shard: empty collection")
+	}
+	if numShards <= 0 {
+		numShards = runtime.GOMAXPROCS(0)
+	}
+	if numShards > len(rankings) {
+		numShards = len(rankings)
+	}
+	n := len(rankings)
+	s := &Sharded{
+		shards:  make([]Index, numShards),
+		offsets: make([]ranking.ID, numShards),
+		hists:   make([]*Histogram, numShards),
+		k:       rankings[0].K(),
+		n:       n,
+	}
+	base, rem := n/numShards, n%numShards
+	errs := make([]error, numShards)
+	var wg sync.WaitGroup
+	lo := 0
+	for i := 0; i < numShards; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		chunk := rankings[lo : lo+size]
+		s.offsets[i] = ranking.ID(lo)
+		s.hists[i] = &Histogram{}
+		wg.Add(1)
+		go func(i int, chunk []ranking.Ranking) {
+			defer wg.Done()
+			s.shards[i], errs[i] = build(chunk)
+		}(i, chunk)
+		lo += size
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// NumShards returns the number of sub-indices.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Len implements Index.
+func (s *Sharded) Len() int { return s.n }
+
+// K implements Index.
+func (s *Sharded) K() int { return s.k }
+
+// DistanceCalls implements Index as the sum over all shards.
+func (s *Sharded) DistanceCalls() uint64 {
+	var t uint64
+	for _, sh := range s.shards {
+		t += sh.DistanceCalls()
+	}
+	return t
+}
+
+// Shard returns the i-th sub-index and the global ID of its first ranking.
+func (s *Sharded) Shard(i int) (Index, ranking.ID) { return s.shards[i], s.offsets[i] }
+
+// Search implements Index: the query is fanned out to every shard in
+// parallel, shard-local IDs are remapped to global IDs, and the per-shard
+// answers are concatenated in shard order — which, with contiguous ID-range
+// sharding and ID-sorted per-shard results, is already the globally sorted
+// result set.
+func (s *Sharded) Search(q ranking.Ranking, theta float64) ([]ranking.Result, error) {
+	parts := make([][]ranking.Result, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := 1; i < len(s.shards); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i], errs[i] = s.searchShard(i, q, theta)
+		}(i)
+	}
+	parts[0], errs[0] = s.searchShard(0, q, theta) // shard 0 on the caller's goroutine
+	wg.Wait()
+	total := 0
+	for i := range errs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, errs[i])
+		}
+		total += len(parts[i])
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	out := make([]ranking.Result, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// searchShard queries one shard, remaps IDs, and records latency.
+func (s *Sharded) searchShard(i int, q ranking.Ranking, theta float64) ([]ranking.Result, error) {
+	start := time.Now()
+	res, err := s.shards[i].Search(q, theta)
+	s.hists[i].Observe(time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	if off := s.offsets[i]; off != 0 {
+		for j := range res {
+			res[j].ID += off
+		}
+	}
+	return res, nil
+}
+
+// SearchBatch answers many queries at the same threshold, running up to
+// GOMAXPROCS queries concurrently (each of which fans out to all shards).
+// The i-th result slice answers queries[i]; the first error aborts nothing
+// but is reported after all queries finish.
+func (s *Sharded) SearchBatch(queries []ranking.Ranking, theta float64) ([][]ranking.Result, error) {
+	out := make([][]ranking.Result, len(queries))
+	errs := make([]error, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			out[i], errs[i] = s.Search(q, theta)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i], errs[i] = s.Search(queries[i], theta)
+				}
+			}()
+		}
+		for i := range queries {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// ShardStats is a point-in-time view of one shard.
+type ShardStats struct {
+	Shard         int               `json:"shard"`
+	Offset        ranking.ID        `json:"offset"`
+	Len           int               `json:"len"`
+	DistanceCalls uint64            `json:"distanceCalls"`
+	Latency       HistogramSnapshot `json:"latency"`
+}
+
+// Stats snapshots every shard's size, distance-call counter and query
+// latency histogram.
+func (s *Sharded) Stats() []ShardStats {
+	out := make([]ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = ShardStats{
+			Shard:         i,
+			Offset:        s.offsets[i],
+			Len:           sh.Len(),
+			DistanceCalls: sh.DistanceCalls(),
+			Latency:       s.hists[i].Snapshot(),
+		}
+	}
+	return out
+}

@@ -3,10 +3,9 @@ package topk
 import (
 	"fmt"
 
-	"topk/internal/blocked"
 	"topk/internal/coarse"
-	"topk/internal/invindex"
 	"topk/internal/knn"
+	"topk/internal/metric"
 	"topk/internal/ranking"
 )
 
@@ -34,8 +33,6 @@ func (a rangeAdapter) K() int   { return a.k }
 // best-first BK-tree traversal for BKTree, and the expanding-radius
 // reduction otherwise.
 func (t *MetricTree) NearestNeighbors(q Ranking, n int) ([]Result, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if q.K() != t.k {
 		return nil, fmt.Errorf("topk: query size %d, index size %d: %w",
 			q.K(), t.k, ranking.ErrSizeMismatch)
@@ -43,27 +40,30 @@ func (t *MetricTree) NearestNeighbors(q Ranking, n int) ([]Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	ev := metric.New(nil)
+	defer func() { t.calls.Add(ev.Calls()) }()
 	if t.kind == BKTree {
-		return knn.BestFirst(t.bk, q, n, t.ev), nil
+		return knn.BestFirst(t.bk, q, n, ev), nil
 	}
 	return knn.Expanding(rangeAdapter{
-		query: func(q Ranking, raw int) ([]Result, error) { return t.rawSearch(q, raw) },
+		query: func(q Ranking, raw int) ([]Result, error) { return t.rawSearch(q, raw, ev) },
 		n:     len(t.rs), k: t.k,
 	}, q, n)
 }
 
-// rawSearch answers a raw-threshold range query (lock held by caller).
-func (t *MetricTree) rawSearch(q Ranking, raw int) ([]Result, error) {
+// rawSearch answers a raw-threshold range query with ev as the per-query
+// counting evaluator.
+func (t *MetricTree) rawSearch(q Ranking, raw int, ev *metric.Evaluator) ([]Result, error) {
 	var out []Result
 	switch t.kind {
 	case BKTree:
-		out = t.bk.RangeSearchResults(q, raw, t.ev)
+		out = t.bk.RangeSearchResults(q, raw, ev)
 	case MTree:
-		for _, id := range t.mt.RangeSearch(q, raw, t.ev) {
+		for _, id := range t.mt.RangeSearch(q, raw, ev) {
 			out = append(out, Result{ID: id, Dist: ranking.Footrule(q, t.rs[id])})
 		}
 	case VPTree:
-		for _, id := range t.vp.RangeSearch(q, raw, t.ev) {
+		for _, id := range t.vp.RangeSearch(q, raw, ev) {
 			out = append(out, Result{ID: id, Dist: ranking.Footrule(q, t.rs[id])})
 		}
 	}
@@ -74,15 +74,19 @@ func (t *MetricTree) rawSearch(q Ranking, raw int) ([]Result, error) {
 // NearestNeighbors implements NearestNeighborSearcher via the
 // expanding-radius reduction over the coarse index's range search.
 func (c *CoarseIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	mode := coarse.FV
 	if c.drop {
 		mode = coarse.FVDrop
 	}
+	s := c.pool.Get()
+	defer c.pool.Put(s)
+	ev := metric.New(nil)
+	defer func() { c.calls.Add(ev.Calls()) }()
 	return knn.Expanding(rangeAdapter{
 		query: func(q Ranking, raw int) ([]Result, error) {
-			return c.search.Query(q, raw, c.ev, mode)
+			return s.Query(q, raw, ev, mode)
 		},
 		n: c.idx.Len(), k: c.k,
 	}, q, n)
@@ -91,18 +95,15 @@ func (c *CoarseIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
 // NearestNeighbors implements NearestNeighborSearcher via the
 // expanding-radius reduction over the configured algorithm.
 func (ii *InvertedIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
-	ii.mu.Lock()
-	defer ii.mu.Unlock()
+	ii.mu.RLock()
+	defer ii.mu.RUnlock()
+	s := ii.pool.Get()
+	defer ii.pool.Put(s)
+	ev := metric.New(nil)
+	defer func() { ii.calls.Add(ev.Calls()) }()
 	return knn.Expanding(rangeAdapter{
 		query: func(q Ranking, raw int) ([]Result, error) {
-			switch ii.alg {
-			case FilterValidate:
-				return ii.search.FilterValidate(q, raw, ii.ev)
-			case ListMerge:
-				return ii.search.ListMerge(q, raw, ii.ev)
-			default:
-				return ii.search.FilterValidateDrop(q, raw, ii.ev, invindex.DropSafe)
-			}
+			return ii.searchWith(s, q, raw, ev)
 		},
 		n: ii.idx.Len(), k: ii.k,
 	}, q, n)
@@ -111,15 +112,13 @@ func (ii *InvertedIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
 // NearestNeighbors implements NearestNeighborSearcher via the
 // expanding-radius reduction over the blocked range search.
 func (b *BlockedIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	mode := blocked.Prune
-	if b.mode == blocked.PruneDrop {
-		mode = blocked.PruneDrop
-	}
+	s := b.pool.Get()
+	defer b.pool.Put(s)
+	ev := metric.New(nil)
+	defer func() { b.calls.Add(ev.Calls()) }()
 	return knn.Expanding(rangeAdapter{
 		query: func(q Ranking, raw int) ([]Result, error) {
-			return b.search.Query(q, raw, b.ev, mode)
+			return s.Query(q, raw, ev, b.mode)
 		},
 		n: b.idx.Len(), k: b.k,
 	}, q, n)

@@ -14,15 +14,19 @@
 // AdaptSearch prefix filter) are provided both as baselines and because
 // each has a regime where it wins; see the package examples and README.
 //
-// All Search methods are safe for concurrent use; each index serializes
-// its internal per-query scratch state with a mutex. For maximum
-// single-thread throughput on many goroutines, create one index per
-// goroutine (construction shares the ranking storage).
+// All Search methods are safe for concurrent use and run in parallel: the
+// per-query scratch state of every index lives in an internal sync.Pool, so
+// any number of goroutines can query one shared index without contending on
+// a lock. Distance-call accounting is atomic. Indexes that support Insert
+// (CoarseIndex, InvertedIndex) briefly exclude writers from readers with an
+// RWMutex; read-only structures take no lock at all. For query fan-out
+// across cores over one collection, see internal/shard and cmd/topkserve.
 package topk
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"topk/internal/bktree"
 	"topk/internal/blocked"
@@ -107,10 +111,12 @@ func validateCollection(rankings []Ranking) (int, error) {
 // grouped into partitions of radius θC around medoid rankings; only the
 // medoids live in an inverted index; partitions are validated by BK-trees.
 type CoarseIndex struct {
-	mu     sync.Mutex
+	// mu is write-held by Insert only; Search proceeds concurrently under
+	// the read lock, drawing its scratch state from pool.
+	mu     sync.RWMutex
 	idx    *coarse.Index
-	search *coarse.Searcher
-	ev     *metric.Evaluator
+	pool   *coarse.Pool
+	calls  atomic.Uint64
 	k      int
 	drop   bool
 	thetaC float64
@@ -181,8 +187,7 @@ func NewCoarseIndex(rankings []Ranking, opts ...CoarseOption) (*CoarseIndex, err
 	}
 	return &CoarseIndex{
 		idx:    idx,
-		search: coarse.NewSearcher(idx),
-		ev:     metric.New(nil),
+		pool:   coarse.NewPool(idx),
 		k:      k,
 		drop:   cfg.drop,
 		thetaC: cfg.thetaC,
@@ -209,13 +214,18 @@ func tuneThetaC(rankings []Ranking, k int, maxTheta float64) (float64, error) {
 
 // Search implements Index.
 func (c *CoarseIndex) Search(q Ranking, theta float64) ([]Result, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	mode := coarse.FV
 	if c.drop {
 		mode = coarse.FVDrop
 	}
-	return c.search.Query(q, ranking.RawThreshold(theta, c.k), c.ev, mode)
+	s := c.pool.Get()
+	defer c.pool.Put(s)
+	ev := metric.New(nil)
+	res, err := s.Query(q, ranking.RawThreshold(theta, c.k), ev, mode)
+	c.calls.Add(ev.Calls())
+	return res, err
 }
 
 // Len implements Index.
@@ -225,11 +235,7 @@ func (c *CoarseIndex) Len() int { return c.idx.Len() }
 func (c *CoarseIndex) K() int { return c.k }
 
 // DistanceCalls implements Index.
-func (c *CoarseIndex) DistanceCalls() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ev.Calls()
-}
+func (c *CoarseIndex) DistanceCalls() uint64 { return c.calls.Load() }
 
 // ThetaC reports the (possibly auto-tuned) partitioning threshold in use.
 func (c *CoarseIndex) ThetaC() float64 { return c.thetaC }
@@ -259,12 +265,14 @@ const (
 // InvertedIndex is the rank-augmented inverted index with the paper's
 // filter-and-validate algorithm family.
 type InvertedIndex struct {
-	mu     sync.Mutex
-	idx    *invindex.Index
-	search *invindex.Searcher
-	ev     *metric.Evaluator
-	k      int
-	alg    Algorithm
+	// mu is write-held by Insert only; Search proceeds concurrently under
+	// the read lock, drawing its scratch state from pool.
+	mu    sync.RWMutex
+	idx   *invindex.Index
+	pool  *invindex.Pool
+	calls atomic.Uint64
+	k     int
+	alg   Algorithm
 }
 
 // InvOption configures NewInvertedIndex.
@@ -287,11 +295,10 @@ func NewInvertedIndex(rankings []Ranking, opts ...InvOption) (*InvertedIndex, er
 		return nil, err
 	}
 	ii := &InvertedIndex{
-		idx:    idx,
-		search: invindex.NewSearcher(idx),
-		ev:     metric.New(nil),
-		k:      k,
-		alg:    FilterValidateDrop,
+		idx:  idx,
+		pool: invindex.NewPool(idx),
+		k:    k,
+		alg:  FilterValidateDrop,
 	}
 	for _, o := range opts {
 		o(ii)
@@ -301,16 +308,25 @@ func NewInvertedIndex(rankings []Ranking, opts ...InvOption) (*InvertedIndex, er
 
 // Search implements Index.
 func (ii *InvertedIndex) Search(q Ranking, theta float64) ([]Result, error) {
-	ii.mu.Lock()
-	defer ii.mu.Unlock()
-	raw := ranking.RawThreshold(theta, ii.k)
+	ii.mu.RLock()
+	defer ii.mu.RUnlock()
+	s := ii.pool.Get()
+	defer ii.pool.Put(s)
+	ev := metric.New(nil)
+	res, err := ii.searchWith(s, q, ranking.RawThreshold(theta, ii.k), ev)
+	ii.calls.Add(ev.Calls())
+	return res, err
+}
+
+// searchWith runs the configured algorithm on a borrowed searcher.
+func (ii *InvertedIndex) searchWith(s *invindex.Searcher, q Ranking, raw int, ev *metric.Evaluator) ([]Result, error) {
 	switch ii.alg {
 	case FilterValidate:
-		return ii.search.FilterValidate(q, raw, ii.ev)
+		return s.FilterValidate(q, raw, ev)
 	case FilterValidateDrop:
-		return ii.search.FilterValidateDrop(q, raw, ii.ev, invindex.DropSafe)
+		return s.FilterValidateDrop(q, raw, ev, invindex.DropSafe)
 	case ListMerge:
-		return ii.search.ListMerge(q, raw, ii.ev)
+		return s.ListMerge(q, raw, ev)
 	default:
 		return nil, fmt.Errorf("topk: unknown algorithm %d", ii.alg)
 	}
@@ -323,11 +339,7 @@ func (ii *InvertedIndex) Len() int { return ii.idx.Len() }
 func (ii *InvertedIndex) K() int { return ii.k }
 
 // DistanceCalls implements Index.
-func (ii *InvertedIndex) DistanceCalls() uint64 {
-	ii.mu.Lock()
-	defer ii.mu.Unlock()
-	return ii.ev.Calls()
-}
+func (ii *InvertedIndex) DistanceCalls() uint64 { return ii.calls.Load() }
 
 // ---------------------------------------------------------------------------
 // BlockedIndex
@@ -335,13 +347,14 @@ func (ii *InvertedIndex) DistanceCalls() uint64 {
 
 // BlockedIndex is the inverted index with rank-sorted lists, per-rank block
 // offsets and NRA-style early accept/reject (Blocked+Prune[+Drop]).
+// BlockedIndex has no mutating operations, so Search takes no lock at all:
+// per-query scratch comes from the pool, distance accounting is atomic.
 type BlockedIndex struct {
-	mu     sync.Mutex
-	idx    *blocked.Index
-	search *blocked.Searcher
-	ev     *metric.Evaluator
-	k      int
-	mode   blocked.Mode
+	idx   *blocked.Index
+	pool  *blocked.Pool
+	calls atomic.Uint64
+	k     int
+	mode  blocked.Mode
 }
 
 // BlockedOption configures NewBlockedIndex.
@@ -363,11 +376,10 @@ func NewBlockedIndex(rankings []Ranking, opts ...BlockedOption) (*BlockedIndex, 
 		return nil, err
 	}
 	b := &BlockedIndex{
-		idx:    idx,
-		search: blocked.NewSearcher(idx),
-		ev:     metric.New(nil),
-		k:      k,
-		mode:   blocked.Prune,
+		idx:  idx,
+		pool: blocked.NewPool(idx),
+		k:    k,
+		mode: blocked.Prune,
 	}
 	for _, o := range opts {
 		o(b)
@@ -377,9 +389,12 @@ func NewBlockedIndex(rankings []Ranking, opts ...BlockedOption) (*BlockedIndex, 
 
 // Search implements Index.
 func (b *BlockedIndex) Search(q Ranking, theta float64) ([]Result, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.search.Query(q, ranking.RawThreshold(theta, b.k), b.ev, b.mode)
+	s := b.pool.Get()
+	defer b.pool.Put(s)
+	ev := metric.New(nil)
+	res, err := s.Query(q, ranking.RawThreshold(theta, b.k), ev, b.mode)
+	b.calls.Add(ev.Calls())
+	return res, err
 }
 
 // Len implements Index.
@@ -389,11 +404,7 @@ func (b *BlockedIndex) Len() int { return b.idx.Len() }
 func (b *BlockedIndex) K() int { return b.k }
 
 // DistanceCalls implements Index.
-func (b *BlockedIndex) DistanceCalls() uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.ev.Calls()
-}
+func (b *BlockedIndex) DistanceCalls() uint64 { return b.calls.Load() }
 
 // ---------------------------------------------------------------------------
 // Metric trees
@@ -412,16 +423,17 @@ const (
 	VPTree
 )
 
-// MetricTree is a pure metric-space index over the collection.
+// MetricTree is a pure metric-space index over the collection. The trees
+// are immutable after construction, so Search is lock-free; the only
+// per-query state is the counting evaluator.
 type MetricTree struct {
-	mu   sync.Mutex
-	kind TreeKind
-	bk   *bktree.Tree
-	mt   *mtree.Tree
-	vp   *vptree.Tree
-	rs   []Ranking
-	ev   *metric.Evaluator
-	k    int
+	kind  TreeKind
+	bk    *bktree.Tree
+	mt    *mtree.Tree
+	vp    *vptree.Tree
+	rs    []Ranking
+	calls atomic.Uint64
+	k     int
 }
 
 // NewMetricTree builds a metric tree of the given kind.
@@ -430,7 +442,7 @@ func NewMetricTree(rankings []Ranking, kind TreeKind) (*MetricTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &MetricTree{kind: kind, rs: rankings, ev: metric.New(nil), k: k}
+	t := &MetricTree{kind: kind, rs: rankings, k: k}
 	switch kind {
 	case BKTree:
 		t.bk, err = bktree.New(rankings, nil)
@@ -449,28 +461,14 @@ func NewMetricTree(rankings []Ranking, kind TreeKind) (*MetricTree, error) {
 
 // Search implements Index.
 func (t *MetricTree) Search(q Ranking, theta float64) ([]Result, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if q.K() != t.k {
 		return nil, fmt.Errorf("topk: query size %d, index size %d: %w",
 			q.K(), t.k, ranking.ErrSizeMismatch)
 	}
-	raw := ranking.RawThreshold(theta, t.k)
-	var out []Result
-	switch t.kind {
-	case BKTree:
-		out = t.bk.RangeSearchResults(q, raw, t.ev)
-	case MTree:
-		for _, id := range t.mt.RangeSearch(q, raw, t.ev) {
-			out = append(out, Result{ID: id, Dist: ranking.Footrule(q, t.rs[id])})
-		}
-	case VPTree:
-		for _, id := range t.vp.RangeSearch(q, raw, t.ev) {
-			out = append(out, Result{ID: id, Dist: ranking.Footrule(q, t.rs[id])})
-		}
-	}
-	ranking.SortResults(out)
-	return out, nil
+	ev := metric.New(nil)
+	out, err := t.rawSearch(q, ranking.RawThreshold(theta, t.k), ev)
+	t.calls.Add(ev.Calls())
+	return out, err
 }
 
 // Len implements Index.
@@ -480,8 +478,4 @@ func (t *MetricTree) Len() int { return len(t.rs) }
 func (t *MetricTree) K() int { return t.k }
 
 // DistanceCalls implements Index.
-func (t *MetricTree) DistanceCalls() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.ev.Calls()
-}
+func (t *MetricTree) DistanceCalls() uint64 { return t.calls.Load() }
