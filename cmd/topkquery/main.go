@@ -126,14 +126,30 @@ func main() {
 	}
 }
 
-// loadSnapshot reads a binary collection snapshot (persist format).
+// loadSnapshot reads a binary collection snapshot, accepting both the dense
+// v1 format and the tombstone-aware v2 format (e.g. topkserve /snapshot).
+// topkquery builds static, densely-numbered indexes, so tombstoned v2 slots
+// are compacted away with a notice.
 func loadSnapshot(path string) ([]topk.Ranking, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return persist.ReadRankings(f)
+	slots, err := persist.ReadCollection(f)
+	if err != nil {
+		return nil, err
+	}
+	rs := make([]topk.Ranking, 0, len(slots))
+	for _, r := range slots {
+		if r != nil {
+			rs = append(rs, r)
+		}
+	}
+	if dropped := len(slots) - len(rs); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "compacted %d tombstoned snapshot slots (ids renumbered)\n", dropped)
+	}
+	return rs, nil
 }
 
 // saveSnapshot writes the collection in the persist binary format.

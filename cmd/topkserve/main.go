@@ -12,8 +12,19 @@
 //
 //	POST /search   {"query":[1,2,3],"theta":0.2}            single query
 //	               {"queries":[[1,2,3],[4,5,6]],"theta":0.2} batch
-//	GET  /stats    collection, per-shard Len/DistanceCalls/latency histograms
+//	POST /insert   {"ranking":[1,2,3]}          add a ranking, returns its id
+//	POST /delete   {"id":7}                     remove a ranking
+//	POST /update   {"id":7,"ranking":[3,2,1]}   replace a ranking, id stable
+//	GET  /snapshot binary persist-v2 snapshot of the live collection
+//	GET  /stats    live collection size, per-shard Len/Tombstones/
+//	               DistanceCalls/latency histograms
 //	GET  /healthz  liveness probe
+//
+// Mutations are supported by the mutable index kinds (coarse*, inverted*,
+// merge); the read-only kinds (blocked*, bktree, mtree, vptree) serve
+// search traffic only and reject mutations with 400. GET /snapshot saved to
+// a file and passed back via -load-snapshot reloads with all ids preserved
+// — tombstoned ids stay retired; v1 snapshots load as all-live collections.
 package main
 
 import (
@@ -54,6 +65,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if !mutableKind(*kind) {
+		// Read-only kinds cannot represent retired ids: compact any
+		// tombstoned snapshot slots away and renumber densely.
+		if compacted, dropped := dropTombstones(rankings); dropped > 0 {
+			fmt.Fprintf(os.Stderr, "index kind %q is read-only: compacted %d tombstoned slots (ids renumbered)\n",
+				*kind, dropped)
+			rankings = compacted
+		}
+	}
 	start := time.Now()
 	sh, err := shard.New(rankings, *shards, builderFor(*kind, *maxTheta))
 	if err != nil {
@@ -91,7 +111,9 @@ func loadCollection(dataPath, snapPath string) ([]ranking.Ranking, error) {
 			return nil, err
 		}
 		defer f.Close()
-		return persist.ReadRankings(f)
+		// Version-aware: v1 snapshots load as all-live collections, v2
+		// snapshots restore tombstoned slots as nil entries.
+		return persist.ReadCollection(f)
 	case dataPath != "":
 		var r io.Reader
 		if dataPath == "-" {
@@ -127,20 +149,42 @@ func loadCollection(dataPath, snapPath string) ([]ranking.Ranking, error) {
 	}
 }
 
-// builderFor returns the shard builder for an index kind name.
+// mutableKind reports whether an index kind supports Insert/Delete/Update.
+func mutableKind(kind string) bool {
+	switch kind {
+	case "coarse", "coarse-drop", "inverted", "inverted-drop", "merge":
+		return true
+	}
+	return false
+}
+
+// dropTombstones removes nil (tombstoned) slots, renumbering densely.
+func dropTombstones(slots []ranking.Ranking) ([]ranking.Ranking, int) {
+	out := make([]ranking.Ranking, 0, len(slots))
+	for _, r := range slots {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out, len(slots) - len(out)
+}
+
+// builderFor returns the shard builder for an index kind name. Mutable
+// kinds build from slots so that tombstoned snapshot entries keep their ids
+// retired; read-only kinds require a dense collection (see dropTombstones).
 func builderFor(kind string, maxTheta float64) shard.Builder {
 	return func(rs []ranking.Ranking) (shard.Index, error) {
 		switch kind {
 		case "coarse":
-			return topk.NewCoarseIndex(rs, topk.WithAutoTune(maxTheta))
+			return topk.NewCoarseIndexFromSlots(rs, topk.WithAutoTune(maxTheta))
 		case "coarse-drop":
-			return topk.NewCoarseIndex(rs, topk.WithThetaC(0.06), topk.WithListDropping())
+			return topk.NewCoarseIndexFromSlots(rs, topk.WithThetaC(0.06), topk.WithListDropping())
 		case "inverted":
-			return topk.NewInvertedIndex(rs, topk.WithAlgorithm(topk.FilterValidate))
+			return topk.NewInvertedIndexFromSlots(rs, topk.WithAlgorithm(topk.FilterValidate))
 		case "inverted-drop":
-			return topk.NewInvertedIndex(rs)
+			return topk.NewInvertedIndexFromSlots(rs)
 		case "merge":
-			return topk.NewInvertedIndex(rs, topk.WithAlgorithm(topk.ListMerge))
+			return topk.NewInvertedIndexFromSlots(rs, topk.WithAlgorithm(topk.ListMerge))
 		case "blocked":
 			return topk.NewBlockedIndex(rs)
 		case "blocked-drop":
@@ -159,10 +203,11 @@ func builderFor(kind string, maxTheta float64) shard.Builder {
 
 // server holds the shared sharded index and request counters.
 type server struct {
-	sh      *shard.Sharded
-	kind    string
-	started time.Time
-	queries atomic.Uint64
+	sh        *shard.Sharded
+	kind      string
+	started   time.Time
+	queries   atomic.Uint64
+	mutations atomic.Uint64
 }
 
 func newServer(sh *shard.Sharded, kind string) *server {
@@ -172,9 +217,30 @@ func newServer(sh *shard.Sharded, kind string) *server {
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /search", s.handleSearch)
+	mux.HandleFunc("POST /insert", s.handleInsert)
+	mux.HandleFunc("POST /delete", s.handleDelete)
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleSnapshot streams the current collection as a persist v2 snapshot:
+// the external-id slot array with tombstones marked, so restarting with
+// -load-snapshot preserves every id. `curl -s :8080/snapshot > snap.bin`.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	slots, ok := s.sh.Slots()
+	if !ok {
+		httpError(w, http.StatusBadRequest, "index kind %q exposes no snapshot view", s.kind)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", "attachment; filename=\"rankings-v2.bin\"")
+	if _, err := persist.WriteCollection(w, slots); err != nil {
+		// Headers are gone; all we can do is log.
+		fmt.Fprintf(os.Stderr, "snapshot write: %v\n", err)
+	}
 }
 
 // searchRequest is the /search payload: exactly one of Query or Queries.
@@ -263,12 +329,130 @@ func (s *server) toJSON(rs []ranking.Result) []resultJSON {
 	return out
 }
 
+// mutateRequest is the payload of /insert, /delete and /update. ID is a
+// pointer so a missing field is distinguishable from id 0.
+type mutateRequest struct {
+	ID      *ranking.ID     `json:"id,omitempty"`
+	Ranking ranking.Ranking `json:"ranking,omitempty"`
+}
+
+type mutateResponse struct {
+	ID ranking.ID `json:"id"`
+	N  int        `json:"n"`
+}
+
+// decodeMutation parses and bounds a mutation body; a false return means an
+// error response was already written.
+func (s *server) decodeMutation(w http.ResponseWriter, r *http.Request) (mutateRequest, bool) {
+	var req mutateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return req, false
+	}
+	if !s.sh.Mutable() {
+		httpError(w, http.StatusBadRequest, "index kind %q does not support mutation", s.kind)
+		return req, false
+	}
+	return req, true
+}
+
+// checkRanking validates a mutation payload ranking against the index.
+func (s *server) checkRanking(w http.ResponseWriter, rk ranking.Ranking) bool {
+	if rk == nil {
+		httpError(w, http.StatusBadRequest, "missing \"ranking\"")
+		return false
+	}
+	if rk.K() != s.sh.K() {
+		httpError(w, http.StatusBadRequest, "ranking has size %d, index has k=%d", rk.K(), s.sh.K())
+		return false
+	}
+	if err := rk.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return false
+	}
+	return true
+}
+
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeMutation(w, r)
+	if !ok {
+		return
+	}
+	if req.ID != nil {
+		httpError(w, http.StatusBadRequest, "\"id\" is not an insert field (use /update to replace)")
+		return
+	}
+	if !s.checkRanking(w, req.Ranking) {
+		return
+	}
+	id, err := s.sh.Insert(req.Ranking)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "insert: %v", err)
+		return
+	}
+	s.mutations.Add(1)
+	writeJSON(w, http.StatusOK, mutateResponse{ID: id, N: s.sh.Len()})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeMutation(w, r)
+	if !ok {
+		return
+	}
+	if req.ID == nil {
+		httpError(w, http.StatusBadRequest, "missing \"id\"")
+		return
+	}
+	if req.Ranking != nil {
+		httpError(w, http.StatusBadRequest, "\"ranking\" is not a delete field")
+		return
+	}
+	if err := s.sh.Delete(*req.ID); err != nil {
+		if errors.Is(err, topk.ErrUnknownID) {
+			httpError(w, http.StatusNotFound, "%v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "delete: %v", err)
+		}
+		return
+	}
+	s.mutations.Add(1)
+	writeJSON(w, http.StatusOK, mutateResponse{ID: *req.ID, N: s.sh.Len()})
+}
+
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeMutation(w, r)
+	if !ok {
+		return
+	}
+	if req.ID == nil {
+		httpError(w, http.StatusBadRequest, "missing \"id\"")
+		return
+	}
+	if !s.checkRanking(w, req.Ranking) {
+		return
+	}
+	if err := s.sh.Update(*req.ID, req.Ranking); err != nil {
+		if errors.Is(err, topk.ErrUnknownID) {
+			httpError(w, http.StatusNotFound, "%v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "update: %v", err)
+		}
+		return
+	}
+	s.mutations.Add(1)
+	writeJSON(w, http.StatusOK, mutateResponse{ID: *req.ID, N: s.sh.Len()})
+}
+
 type statsResponse struct {
 	Index         string             `json:"index"`
 	N             int                `json:"n"`
 	K             int                `json:"k"`
 	NumShards     int                `json:"numShards"`
+	Mutable       bool               `json:"mutable"`
 	Queries       uint64             `json:"queries"`
+	Mutations     uint64             `json:"mutations"`
 	DistanceCalls uint64             `json:"distanceCalls"`
 	UptimeSeconds float64            `json:"uptimeSeconds"`
 	Shards        []shard.ShardStats `json:"shards"`
@@ -280,7 +464,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		N:             s.sh.Len(),
 		K:             s.sh.K(),
 		NumShards:     s.sh.NumShards(),
+		Mutable:       s.sh.Mutable(),
 		Queries:       s.queries.Load(),
+		Mutations:     s.mutations.Load(),
 		DistanceCalls: s.sh.DistanceCalls(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Shards:        s.sh.Stats(),

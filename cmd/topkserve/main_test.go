@@ -160,6 +160,262 @@ func TestStatsAndHealthz(t *testing.T) {
 	}
 }
 
+func post(t *testing.T, h http.Handler, path string, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader([]byte(body)))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func liveN(t *testing.T, h http.Handler) int {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st.N
+}
+
+// TestMutationEndpoints drives the full lifecycle over HTTP: insert a
+// ranking, find it, update it, find the new version under the same id,
+// delete it, 404 on further mutations of the retired id — with /stats
+// tracking the live count throughout.
+func TestMutationEndpoints(t *testing.T) {
+	srv, _, _ := testServer(t)
+	h := srv.routes()
+	if n := liveN(t, h); n != 400 {
+		t.Fatalf("initial live count %d, want 400", n)
+	}
+
+	rec := post(t, h, "/insert", `{"ranking":[901,902,903,904,905,906,907,908,909,910]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("insert status %d: %s", rec.Code, rec.Body)
+	}
+	var ins mutateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ins); err != nil {
+		t.Fatal(err)
+	}
+	if ins.ID != 400 || ins.N != 401 {
+		t.Fatalf("insert returned id=%d n=%d, want id=400 n=401", ins.ID, ins.N)
+	}
+
+	// The inserted ranking is findable at distance 0.
+	rec = postSearch(t, h, map[string]any{"query": []uint32{901, 902, 903, 904, 905, 906, 907, 908, 909, 910}, "theta": 0.0})
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 1 || resp.Results[0].ID != 400 || resp.Results[0].Dist != 0 {
+		t.Fatalf("inserted ranking not found: %+v", resp)
+	}
+
+	// Update keeps the id; the old version disappears, the new one appears.
+	rec = post(t, h, "/update", `{"id":400,"ranking":[911,912,913,914,915,916,917,918,919,920]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("update status %d: %s", rec.Code, rec.Body)
+	}
+	rec = postSearch(t, h, map[string]any{"query": []uint32{911, 912, 913, 914, 915, 916, 917, 918, 919, 920}, "theta": 0.0})
+	resp = searchResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 1 || resp.Results[0].ID != 400 {
+		t.Fatalf("updated ranking not found under stable id: %+v", resp)
+	}
+	rec = postSearch(t, h, map[string]any{"query": []uint32{901, 902, 903, 904, 905, 906, 907, 908, 909, 910}, "theta": 0.0})
+	resp = searchResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 0 {
+		t.Fatalf("stale version still findable after update: %+v", resp)
+	}
+
+	if rec = post(t, h, "/delete", `{"id":400}`); rec.Code != http.StatusOK {
+		t.Fatalf("delete status %d: %s", rec.Code, rec.Body)
+	}
+	if n := liveN(t, h); n != 400 {
+		t.Fatalf("live count %d after insert+delete, want 400", n)
+	}
+	// The id is retired for good.
+	if rec = post(t, h, "/delete", `{"id":400}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("re-delete status %d, want 404 (%s)", rec.Code, rec.Body)
+	}
+	if rec = post(t, h, "/update", `{"id":400,"ranking":[1,2,3,4,5,6,7,8,9,10]}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("update of retired id status %d, want 404 (%s)", rec.Code, rec.Body)
+	}
+}
+
+// TestMutationEndpointValidation is the table-driven 400/404-never-500
+// contract of the mutation endpoints.
+func TestMutationEndpointValidation(t *testing.T) {
+	srv, _, _ := testServer(t)
+	h := srv.routes()
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"insert malformed body", "/insert", `{"ranking":`, http.StatusBadRequest},
+		{"insert unknown field", "/insert", `{"rnking":[1,2]}`, http.StatusBadRequest},
+		{"insert missing ranking", "/insert", `{}`, http.StatusBadRequest},
+		{"insert wrong k", "/insert", `{"ranking":[1,2,3]}`, http.StatusBadRequest},
+		{"insert duplicate items", "/insert", `{"ranking":[1,1,2,3,4,5,6,7,8,9]}`, http.StatusBadRequest},
+		{"insert with id", "/insert", `{"id":3,"ranking":[11,12,13,14,15,16,17,18,19,20]}`, http.StatusBadRequest},
+		{"delete malformed body", "/delete", `nope`, http.StatusBadRequest},
+		{"delete missing id", "/delete", `{}`, http.StatusBadRequest},
+		{"delete with ranking", "/delete", `{"id":1,"ranking":[1,2,3,4,5,6,7,8,9,10]}`, http.StatusBadRequest},
+		{"delete unknown id", "/delete", `{"id":999999}`, http.StatusNotFound},
+		{"update malformed body", "/update", `{"id":}`, http.StatusBadRequest},
+		{"update missing id", "/update", `{"ranking":[11,12,13,14,15,16,17,18,19,20]}`, http.StatusBadRequest},
+		{"update missing ranking", "/update", `{"id":1}`, http.StatusBadRequest},
+		{"update wrong k", "/update", `{"id":1,"ranking":[1,2]}`, http.StatusBadRequest},
+		{"update duplicate items", "/update", `{"id":1,"ranking":[1,1,2,3,4,5,6,7,8,9]}`, http.StatusBadRequest},
+		{"update unknown id", "/update", `{"id":999999,"ranking":[11,12,13,14,15,16,17,18,19,20]}`, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := post(t, h, c.path, c.body)
+			if rec.Code != c.want {
+				t.Fatalf("status %d, want %d (%s)", rec.Code, c.want, rec.Body)
+			}
+			if rec.Code >= 500 {
+				t.Fatalf("mutation endpoint returned 5xx: %s", rec.Body)
+			}
+		})
+	}
+	if n := liveN(t, h); n != 400 {
+		t.Fatalf("rejected mutations changed the live count: %d", n)
+	}
+}
+
+// TestMutationRejectedOnImmutableKind pins the 400 (not 500) behavior of
+// the read-only index kinds.
+func TestMutationRejectedOnImmutableKind(t *testing.T) {
+	rs, err := dataset.Generate(dataset.NYTLike(100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := shard.New(rs, 2, builderFor("blocked", 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(sh, "blocked").routes()
+	for _, c := range []struct{ path, body string }{
+		{"/insert", `{"ranking":[11,12,13,14,15,16,17,18,19,20]}`},
+		{"/delete", `{"id":1}`},
+		{"/update", `{"id":1,"ranking":[11,12,13,14,15,16,17,18,19,20]}`},
+	} {
+		rec := post(t, h, c.path, c.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s on immutable kind: status %d, want 400 (%s)", c.path, rec.Code, rec.Body)
+		}
+	}
+}
+
+// TestSnapshotEndpointRoundTrip mutates a server, pulls GET /snapshot, and
+// reloads the bytes through the startup path: ids must be preserved and the
+// restored server must answer identically.
+func TestSnapshotEndpointRoundTrip(t *testing.T) {
+	srv, _, qs := testServer(t)
+	h := srv.routes()
+	if rec := post(t, h, "/delete", `{"id":42}`); rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d %s", rec.Code, rec.Body)
+	}
+	if rec := post(t, h, "/insert", `{"ranking":[901,902,903,904,905,906,907,908,909,910]}`); rec.Code != http.StatusOK {
+		t.Fatalf("insert: %d %s", rec.Code, rec.Body)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/snapshot", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot status %d", rec.Code)
+	}
+	slots, err := persist.ReadCollection(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("snapshot bytes unreadable: %v", err)
+	}
+	if len(slots) != 401 || slots[42] != nil || slots[400] == nil {
+		t.Fatalf("snapshot slots wrong: len=%d slot42=%v", len(slots), slots[42])
+	}
+
+	sh2, err := shard.New(slots, 2, builderFor("coarse", 0.3))
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	h2 := newServer(sh2, "coarse").routes()
+	if n := liveN(t, h2); n != 400 {
+		t.Fatalf("restored live count %d, want 400", n)
+	}
+	if rec := post(t, h2, "/delete", `{"id":42}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("retired id revived on reload: %d", rec.Code)
+	}
+	for _, q := range qs[:4] {
+		a := postSearch(t, h, map[string]any{"query": q, "theta": 0.2})
+		b := postSearch(t, h2, map[string]any{"query": q, "theta": 0.2})
+		var ra, rb searchResponse
+		if err := json.Unmarshal(a.Body.Bytes(), &ra); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(b.Body.Bytes(), &rb); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ra.Results, rb.Results) {
+			t.Fatalf("restored server diverges:\n got %v\nwant %v", rb.Results, ra.Results)
+		}
+	}
+}
+
+// TestLoadCollectionSnapshotV2 loads a tombstoned v2 snapshot and verifies
+// retired ids stay retired on the serving path.
+func TestLoadCollectionSnapshotV2(t *testing.T) {
+	rs, err := dataset.Generate(dataset.NYTLike(60, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := append([]ranking.Ranking(nil), rs...)
+	slots[7], slots[23] = nil, nil // tombstones
+	path := filepath.Join(t.TempDir(), "v2.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := persist.WriteCollection(f, slots); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := loadCollection("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, slots) {
+		t.Fatal("v2 snapshot round-trip diverges")
+	}
+	sh, err := shard.New(got, 3, builderFor("inverted-drop", 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(sh, "inverted-drop").routes()
+	if n := liveN(t, h); n != 58 {
+		t.Fatalf("live count %d, want 58", n)
+	}
+	if rec := post(t, h, "/delete", `{"id":7}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("delete of tombstoned id: status %d, want 404", rec.Code)
+	}
+	// The next insert continues the id sequence after the snapshot.
+	rec := post(t, h, "/insert", `{"ranking":[901,902,903,904,905,906,907,908,909,910]}`)
+	var ins mutateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ins); err != nil {
+		t.Fatal(err)
+	}
+	if ins.ID != 60 {
+		t.Fatalf("insert after v2 load returned id %d, want 60", ins.ID)
+	}
+}
+
 func TestLoadCollectionSnapshot(t *testing.T) {
 	rs, err := dataset.Generate(dataset.NYTLike(100, 10))
 	if err != nil {

@@ -1,38 +1,67 @@
 package topk
 
 import (
+	"fmt"
+
 	"topk/internal/metric"
 	"topk/internal/ranking"
 )
 
-// Insert adds a ranking to the indexed collection and returns its new ID.
-// The inverted index supports incremental maintenance natively (posting
-// lists stay id-sorted because ids grow monotonically). Insert excludes
-// concurrent Search calls for its (short) duration; pooled searchers grow
-// their scratch state lazily, so they stay valid across the insert.
+// Insert adds a ranking to the indexed collection and returns its new,
+// stable ID. The inverted index supports incremental maintenance natively
+// (posting lists stay id-sorted because internal ids grow monotonically).
+// Insert excludes concurrent Search calls for its (short) duration; pooled
+// searchers grow their scratch state lazily, so they stay valid across the
+// insert.
 func (ii *InvertedIndex) Insert(r Ranking) (ID, error) {
 	ii.mu.Lock()
 	defer ii.mu.Unlock()
-	return ii.idx.Insert(r)
-}
-
-// Insert adds a ranking to the coarse index and returns its new ID. Per
-// Section 4.1's clustering semantics, the ranking joins the first existing
-// partition whose medoid is within θC (found through the medoid inverted
-// index with Lemma 1's relaxation — a zero-radius query at threshold θC);
-// otherwise it becomes the medoid of a fresh singleton partition. The
-// partition invariant d(medoid, member) ≤ θC is preserved exactly, so all
-// query-time guarantees carry over. Insert excludes concurrent Search calls
-// for its duration; insert-time distance computations count toward the
-// index's construction cost (BuildDFC), not DistanceCalls.
-func (c *CoarseIndex) Insert(r Ranking) (ID, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if ii.k == 0 && ii.ids.live == 0 && r.K() > 0 {
+		// Built over zero live rankings (e.g. an all-tombstone snapshot
+		// shard): the first insert defines the ranking size.
+		ii.k = r.K()
+	}
+	if r.K() != ii.k {
+		return 0, fmt.Errorf("topk: inserted ranking has size %d, want %d: %w",
+			r.K(), ii.k, ranking.ErrSizeMismatch)
+	}
 	if err := r.Validate(); err != nil {
 		return 0, err
 	}
-	if r.K() != c.k {
-		return 0, ranking.ErrSizeMismatch
+	intID, err := ii.idx.Insert(r)
+	if err != nil {
+		return 0, err
 	}
-	return c.idx.Insert(r, metric.New(nil))
+	return ii.ids.insert(intID), nil
+}
+
+// Insert adds a ranking to the coarse index and returns its new, stable ID.
+// Per Section 4.1's clustering semantics, the ranking joins the first
+// existing partition whose medoid is within θC (found through the medoid
+// inverted index with Lemma 1's relaxation — a zero-radius query at
+// threshold θC); otherwise it becomes the medoid of a fresh singleton
+// partition. The partition invariant d(medoid, member) ≤ θC is preserved
+// exactly, so all query-time guarantees carry over. Insert excludes
+// concurrent Search calls for its duration; insert-time distance
+// computations count toward the index's construction cost (BuildDFC), not
+// DistanceCalls.
+func (c *CoarseIndex) Insert(r Ranking) (ID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.k == 0 && c.ids.live == 0 && r.K() > 0 {
+		// Built over zero live rankings: the first insert defines the size.
+		c.k = r.K()
+	}
+	if r.K() != c.k {
+		return 0, fmt.Errorf("topk: inserted ranking has size %d, want %d: %w",
+			r.K(), c.k, ranking.ErrSizeMismatch)
+	}
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	intID, err := c.idx.Insert(r, metric.New(nil))
+	if err != nil {
+		return 0, err
+	}
+	return c.ids.insert(intID), nil
 }

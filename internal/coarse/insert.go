@@ -36,6 +36,9 @@ func (idx *Index) Insert(r ranking.Ranking, ev *metric.Evaluator) (ranking.ID, e
 	}
 	id := ranking.ID(len(idx.rankings))
 	idx.rankings = append(idx.rankings, r)
+	if idx.deleted != nil {
+		idx.deleted = append(idx.deleted, false)
+	}
 	idx.n++
 	// Appending may reallocate the backing array; every partition tree holds
 	// a slice header into it and must be rebound before resolving new ids.

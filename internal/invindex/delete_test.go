@@ -1,0 +1,95 @@
+package invindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"topk/internal/difftest"
+	"topk/internal/ranking"
+)
+
+// TestDeleteFiltersAllAlgorithms tombstones a third of the collection and
+// checks that F&V, F&V+Drop and ListMerge all skip the dead rankings,
+// byte-identically to a survivor-only linear scan with original ids.
+func TestDeleteFiltersAllAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	rs := difftest.RandomCollection(rng, 300, 8, 250)
+	idx, err := New(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := append([]ranking.Ranking(nil), rs...)
+	for len(rs)-idx.Live() < len(rs)/3 {
+		id := ranking.ID(rng.Intn(len(rs)))
+		if idx.Deleted(id) {
+			continue
+		}
+		if err := idx.Delete(id); err != nil {
+			t.Fatalf("Delete(%d): %v", id, err)
+		}
+		slots[id] = nil
+	}
+	if err := idx.Delete(ranking.ID(len(rs)) + 7); err == nil {
+		t.Fatal("Delete out of range succeeded")
+	}
+	o := difftest.NewOracle(slots)
+	if idx.Live() != o.Len() {
+		t.Fatalf("Live=%d, oracle %d", idx.Live(), o.Len())
+	}
+
+	s := NewSearcher(idx)
+	algos := map[string]func(q ranking.Ranking, raw int) ([]ranking.Result, error){
+		"FilterValidate": func(q ranking.Ranking, raw int) ([]ranking.Result, error) {
+			return s.FilterValidate(q, raw, nil)
+		},
+		"FilterValidateDrop": func(q ranking.Ranking, raw int) ([]ranking.Result, error) {
+			return s.FilterValidateDrop(q, raw, nil, DropSafe)
+		},
+		"ListMerge": func(q ranking.Ranking, raw int) ([]ranking.Result, error) {
+			return s.ListMerge(q, raw, nil)
+		},
+	}
+	for trial := 0; trial < 25; trial++ {
+		q := rs[rng.Intn(len(rs))]
+		if trial%2 == 1 {
+			q = difftest.RandomRanking(rng, 8, 250)
+		}
+		raw := rng.Intn(50)
+		want := o.SearchRaw(q, raw)
+		for name, search := range algos {
+			got, err := search(q, raw)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !difftest.Equal(got, want) {
+				t.Fatalf("%s θ=%d: got %v, want %v", name, raw, got, want)
+			}
+		}
+	}
+
+	// Insert after Delete: the tombstone array must track the growth and
+	// the fresh ranking must be findable by every algorithm.
+	nr := difftest.RandomRanking(rng, 8, 250)
+	id, err := idx.Insert(nr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Deleted(id) {
+		t.Fatal("fresh insert reported deleted")
+	}
+	for name, search := range algos {
+		got, err := search(nr, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, r := range got {
+			if r.ID == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: inserted ranking not found after deletes", name)
+		}
+	}
+}

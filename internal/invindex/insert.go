@@ -30,8 +30,32 @@ func (idx *Index) Insert(r ranking.Ranking) (ranking.ID, error) {
 	}
 	id := ranking.ID(len(idx.rankings))
 	idx.rankings = append(idx.rankings, r)
+	if idx.deleted != nil {
+		idx.deleted = append(idx.deleted, false)
+	}
 	for rank, item := range r {
 		idx.lists[item] = append(idx.lists[item], Posting{ID: id, Rank: uint8(rank)})
 	}
 	return id, nil
+}
+
+// Delete tombstones the ranking with the given id: its postings stay in the
+// lists but every query algorithm skips it from then on. Deleting an unknown
+// or already-deleted id is an error. Like Insert, Delete must not run
+// concurrently with queries; the topk facade serializes them, tracks the
+// tombstone ratio, and rebuilds the index (compaction) when it grows too
+// large.
+func (idx *Index) Delete(id ranking.ID) error {
+	if int(id) >= len(idx.rankings) {
+		return fmt.Errorf("invindex: delete of unknown id %d (n=%d)", id, len(idx.rankings))
+	}
+	if idx.deleted == nil {
+		idx.deleted = make([]bool, len(idx.rankings))
+	}
+	if idx.deleted[id] {
+		return fmt.Errorf("invindex: id %d already deleted", id)
+	}
+	idx.deleted[id] = true
+	idx.dead++
+	return nil
 }

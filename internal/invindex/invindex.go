@@ -38,6 +38,12 @@ type Index struct {
 	k        int
 	rankings []ranking.Ranking
 	lists    map[ranking.Item][]Posting
+	// deleted marks tombstoned ids; postings of tombstoned rankings remain
+	// in the lists until the owner rebuilds the index, and every query
+	// algorithm skips them. nil until the first Delete; once allocated it is
+	// kept at len(rankings).
+	deleted []bool
+	dead    int
 }
 
 // New indexes the collection. Rankings are referenced, not copied; ids are
@@ -69,8 +75,20 @@ func New(rankings []ranking.Ranking) (*Index, error) {
 // K returns the ranking size.
 func (idx *Index) K() int { return idx.k }
 
-// Len returns the number of indexed rankings.
+// Len returns the number of indexed rankings, including tombstoned ones
+// (it is the size of the id space, not the live count; see Live).
 func (idx *Index) Len() int { return len(idx.rankings) }
+
+// Live returns the number of indexed rankings that are not tombstoned.
+func (idx *Index) Live() int { return len(idx.rankings) - idx.dead }
+
+// Dead returns the number of tombstoned rankings.
+func (idx *Index) Dead() int { return idx.dead }
+
+// Deleted reports whether id is tombstoned.
+func (idx *Index) Deleted(id ranking.ID) bool {
+	return idx.deleted != nil && int(id) < len(idx.deleted) && idx.deleted[id]
+}
 
 // Ranking returns the indexed ranking with the given id.
 func (idx *Index) Ranking(id ranking.ID) ranking.Ranking { return idx.rankings[id] }
@@ -145,9 +163,25 @@ func (s *Searcher) nextGen() {
 	s.cands = s.cands[:0]
 }
 
-// collect adds the ids of a posting list to the candidate set.
+// collect adds the ids of a posting list to the candidate set, skipping
+// tombstoned rankings. The tombstone branch costs nothing when the index has
+// never seen a Delete (dels == nil takes the first loop), and no allocation
+// either way: dead ids are rejected before they enter the candidate buffer.
 func (s *Searcher) collect(list []Posting) {
+	dels := s.idx.deleted
+	if dels == nil {
+		for _, p := range list {
+			if s.stamp[p.ID] != s.gen {
+				s.stamp[p.ID] = s.gen
+				s.cands = append(s.cands, p.ID)
+			}
+		}
+		return
+	}
 	for _, p := range list {
+		if dels[p.ID] {
+			continue
+		}
 		if s.stamp[p.ID] != s.gen {
 			s.stamp[p.ID] = s.gen
 			s.cands = append(s.cands, p.ID)
@@ -321,6 +355,7 @@ func (s *Searcher) ListMerge(q ranking.Ranking, rawTheta int, _ *metric.Evaluato
 		lists[i] = s.idx.lists[item]
 	}
 	base := k * (k + 1)
+	dels := s.idx.deleted
 	var out []ranking.Result
 	// k-way merge by minimal current id.
 	for {
@@ -344,7 +379,7 @@ func (s *Searcher) ListMerge(q ranking.Ranking, rawTheta int, _ *metric.Evaluato
 				lists[i] = lists[i][1:]
 			}
 		}
-		if d <= rawTheta {
+		if d <= rawTheta && (dels == nil || !dels[cur]) {
 			out = append(out, ranking.Result{ID: cur, Dist: d})
 		}
 	}

@@ -116,6 +116,14 @@ type RangeSearcher interface {
 	K() int
 }
 
+// IDLister is optionally implemented by RangeSearchers whose id space has
+// holes — mutable indexes where deletions leave tombstoned ids. The dmax
+// backfill of Expanding enumerates LiveIDs() instead of assuming the dense
+// id space 0..Len()-1. A nil return falls back to the dense assumption.
+type IDLister interface {
+	LiveIDs() []ranking.ID
+}
+
 // Expanding answers an exact KNN query through any RangeSearcher by
 // doubling the search radius until at least n results are found, then
 // keeping the n best. Each failed probe at radius r proves there are fewer
@@ -144,7 +152,7 @@ func Expanding(rs RangeSearcher, q ranking.Ranking, n int) ([]ranking.Result, er
 		}
 		if len(res) >= n || radius >= cap {
 			if len(res) < n && radius >= cap {
-				res = backfillMax(res, rs.Len(), dmax)
+				res = backfillMax(res, rs, dmax)
 			}
 			sort.Slice(res, func(i, j int) bool {
 				if res[i].Dist != res[j].Dist {
@@ -164,14 +172,26 @@ func Expanding(rs RangeSearcher, q ranking.Ranking, n int) ([]ranking.Result, er
 	}
 }
 
-// backfillMax appends every ranking id not present in res with distance
-// dmax (the only distance a ranking outside radius dmax−1 can have).
-func backfillMax(res []ranking.Result, n, dmax int) []ranking.Result {
+// backfillMax appends every live ranking id not present in res with distance
+// dmax (the only distance a ranking outside radius dmax−1 can have). The id
+// enumeration comes from IDLister when the searcher's id space has holes and
+// defaults to the dense 0..Len()-1 otherwise.
+func backfillMax(res []ranking.Result, rs RangeSearcher, dmax int) []ranking.Result {
 	seen := make(map[ranking.ID]bool, len(res))
 	for _, r := range res {
 		seen[r.ID] = true
 	}
-	for id := 0; id < n; id++ {
+	if l, ok := rs.(IDLister); ok {
+		if ids := l.LiveIDs(); ids != nil {
+			for _, id := range ids {
+				if !seen[id] {
+					res = append(res, ranking.Result{ID: id, Dist: dmax})
+				}
+			}
+			return res
+		}
+	}
+	for id := 0; id < rs.Len(); id++ {
 		if !seen[ranking.ID(id)] {
 			res = append(res, ranking.Result{ID: ranking.ID(id), Dist: dmax})
 		}

@@ -26,6 +26,11 @@ const (
 	magicBKTree   = 0x544b424b // "TKBK"
 	magicInvIndex = 0x544b4949 // "TKII"
 	version       = 1
+	// versionV2 is the mutable-collection snapshot: an external-id slot
+	// array where each slot is either a live ranking or a tombstone, so a
+	// reloaded index preserves the id assignment of the one that was saved
+	// (deleted ids stay retired, the next insert continues the sequence).
+	versionV2 = 2
 )
 
 // ErrBadFormat is returned when the input does not match the expected
@@ -52,17 +57,39 @@ func writeHeader(w io.Writer, magic uint32) error {
 }
 
 func readHeader(r io.Reader, magic uint32) error {
-	var buf [8]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return fmt.Errorf("%w: short header: %v", ErrBadFormat, err)
+	v, err := readVersionedHeader(r, magic)
+	if err != nil {
+		return err
 	}
-	if binary.LittleEndian.Uint32(buf[0:]) != magic {
-		return fmt.Errorf("%w: wrong magic", ErrBadFormat)
-	}
-	if v := binary.LittleEndian.Uint32(buf[4:]); v != version {
+	if v != version {
 		return fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
 	}
 	return nil
+}
+
+// readVersionedHeader checks the magic and returns the artifact version,
+// accepting any version a reader in this package knows how to decode.
+func readVersionedHeader(r io.Reader, magic uint32) (uint32, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("%w: short header: %v", ErrBadFormat, err)
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != magic {
+		return 0, fmt.Errorf("%w: wrong magic", ErrBadFormat)
+	}
+	v := binary.LittleEndian.Uint32(buf[4:])
+	if v != version && v != versionV2 {
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	return v, nil
+}
+
+func writeHeaderV2(w io.Writer, magic uint32) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	binary.LittleEndian.PutUint32(buf[4:], versionV2)
+	_, err := w.Write(buf[:])
+	return err
 }
 
 func writeU32(w io.Writer, v uint32) error {
@@ -115,39 +142,165 @@ func WriteRankings(w io.Writer, rs []ranking.Ranking) (int64, error) {
 	return cw.n, nil
 }
 
-// ReadRankings deserializes a collection written by WriteRankings.
+// ReadRankings deserializes a collection written by WriteRankings (v1).
+// Snapshots that may carry tombstones (v2) are read with ReadCollection.
 func ReadRankings(r io.Reader) ([]ranking.Ranking, error) {
 	br := bufio.NewReader(r)
 	if err := readHeader(br, magicRankings); err != nil {
 		return nil, err
 	}
-	n, err := readU32(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	return readRankingsBody(br)
+}
+
+// readCollectionPrefix decodes the (n, k) pair that both payload versions
+// start with, bounds-checking k.
+func readCollectionPrefix(br *bufio.Reader) (n, k uint32, err error) {
+	if n, err = readU32(br); err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
-	k, err := readU32(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	if k, err = readU32(br); err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
 	if k > 255 {
-		return nil, fmt.Errorf("%w: implausible k=%d", ErrBadFormat, k)
+		return 0, 0, fmt.Errorf("%w: implausible k=%d", ErrBadFormat, k)
 	}
-	rs := make([]ranking.Ranking, n)
-	for i := range rs {
-		rr := make(ranking.Ranking, k)
-		for j := range rr {
-			v, err := readU32(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: truncated ranking %d: %v", ErrBadFormat, i, err)
-			}
-			rr[j] = v
+	return n, k, nil
+}
+
+// readRankingsBody decodes the v1 payload after the header: n, k, then n
+// dense rankings of k items each.
+func readRankingsBody(br *bufio.Reader) ([]ranking.Ranking, error) {
+	n, k, err := readCollectionPrefix(br)
+	if err != nil {
+		return nil, err
+	}
+	// Grow incrementally instead of trusting n: a corrupted header must not
+	// provoke a huge up-front allocation.
+	rs := make([]ranking.Ranking, 0, boundedCap(n))
+	for i := uint32(0); i < n; i++ {
+		rr, err := readRanking(br, k, int(i))
+		if err != nil {
+			return nil, err
 		}
-		if err := rr.Validate(); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
-		}
-		rs[i] = rr
+		rs = append(rs, rr)
 	}
 	return rs, nil
+}
+
+// boundedCap limits speculative slice preallocation for length fields read
+// from untrusted input.
+func boundedCap(n uint32) int {
+	const max = 1 << 16
+	if n > max {
+		return max
+	}
+	return int(n)
+}
+
+func readRanking(br *bufio.Reader, k uint32, i int) (ranking.Ranking, error) {
+	rr := make(ranking.Ranking, k)
+	for j := range rr {
+		v, err := readU32(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated ranking %d: %v", ErrBadFormat, i, err)
+		}
+		rr[j] = v
+	}
+	if err := rr.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return rr, nil
+}
+
+// WriteCollection serializes the external-id slot view of a mutable
+// collection as snapshot v2: slots[id] is the live ranking under id, nil a
+// tombstoned id. Reloading through ReadCollection preserves the id
+// assignment exactly — live rankings keep their ids, deleted ids stay
+// retired. Returns the number of bytes written.
+func WriteCollection(w io.Writer, slots []ranking.Ranking) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if err := writeHeaderV2(bw, magicRankings); err != nil {
+		return cw.n, err
+	}
+	k := -1
+	for _, r := range slots {
+		if r != nil {
+			k = r.K()
+			break
+		}
+	}
+	if k < 0 {
+		k = 0
+	}
+	if err := writeU32(bw, uint32(len(slots))); err != nil {
+		return cw.n, err
+	}
+	if err := writeU32(bw, uint32(k)); err != nil {
+		return cw.n, err
+	}
+	for id, r := range slots {
+		if r == nil {
+			if err := bw.WriteByte(0); err != nil {
+				return cw.n, err
+			}
+			continue
+		}
+		if r.K() != k {
+			return cw.n, fmt.Errorf("persist: slot %d has size %d, want %d: %w",
+				id, r.K(), k, ranking.ErrSizeMismatch)
+		}
+		if err := bw.WriteByte(1); err != nil {
+			return cw.n, err
+		}
+		for _, it := range r {
+			if err := writeU32(bw, it); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadCollection deserializes a ranking-collection snapshot of either
+// version: a dense v1 collection (WriteRankings) loads as an all-live slot
+// array, a v2 snapshot (WriteCollection) restores tombstones as nil slots.
+func ReadCollection(r io.Reader) ([]ranking.Ranking, error) {
+	br := bufio.NewReader(r)
+	v, err := readVersionedHeader(br, magicRankings)
+	if err != nil {
+		return nil, err
+	}
+	if v == version {
+		return readRankingsBody(br)
+	}
+	n, k, err := readCollectionPrefix(br)
+	if err != nil {
+		return nil, err
+	}
+	slots := make([]ranking.Ranking, 0, boundedCap(n))
+	for i := uint32(0); i < n; i++ {
+		flag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated slot %d: %v", ErrBadFormat, i, err)
+		}
+		switch flag {
+		case 0:
+			slots = append(slots, nil)
+		case 1:
+			rr, err := readRanking(br, k, int(i))
+			if err != nil {
+				return nil, err
+			}
+			slots = append(slots, rr)
+		default:
+			return nil, fmt.Errorf("%w: slot %d has flag %d", ErrBadFormat, i, flag)
+		}
+	}
+	return slots, nil
 }
 
 // WriteBKTree serializes the exact tree structure (preorder: node id, child

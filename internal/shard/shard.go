@@ -14,6 +14,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -37,20 +38,39 @@ type Index interface {
 	DistanceCalls() uint64
 }
 
+// Mutable is the mutation interface of sub-indices that support dynamic
+// collections (package topk's InvertedIndex and CoarseIndex). When every
+// sub-index implements it, the Sharded wrapper routes Insert, Delete and
+// Update to the owning shard; see (*Sharded).Mutable.
+type Mutable interface {
+	Index
+	// Insert adds a ranking and returns its new shard-local ID.
+	Insert(r ranking.Ranking) (ranking.ID, error)
+	// Delete removes the ranking with the given shard-local ID.
+	Delete(id ranking.ID) error
+	// Update replaces the ranking under an existing shard-local ID.
+	Update(id ranking.ID, r ranking.Ranking) error
+}
+
 // Builder constructs one sub-index over a contiguous slice of the
 // collection. The slice aliases the caller's collection; builders must not
-// modify it.
+// modify it. For mutable index kinds the slice may contain nil entries —
+// tombstoned slots of a snapshot — which the builder must map to retired
+// ids (see topk.NewInvertedIndexFromSlots).
 type Builder func(rankings []ranking.Ranking) (Index, error)
 
 // Sharded is a collection partitioned across independent sub-indices.
 // All methods are safe for concurrent use (given sub-indices with
-// concurrency-safe Search, which every topk index provides).
+// concurrency-safe Search and mutations, which every topk index provides:
+// shards serialize their own mutations internally, and the routing state
+// below — offsets, slot sizes — is immutable after New because inserts only
+// ever extend the open-ended id range of the last shard).
 type Sharded struct {
 	shards  []Index
 	offsets []ranking.ID // global ID of shard i's first ranking
+	sizes   []int        // initial slot count of shard i (id-range width)
 	hists   []*Histogram // per-shard query latency
 	k       int
-	n       int
 }
 
 // New partitions the collection into numShards contiguous, near-equal
@@ -68,12 +88,19 @@ func New(rankings []ranking.Ranking, numShards int, build Builder) (*Sharded, er
 		numShards = len(rankings)
 	}
 	n := len(rankings)
+	k := 0
+	for _, r := range rankings {
+		if r != nil {
+			k = r.K()
+			break
+		}
+	}
 	s := &Sharded{
 		shards:  make([]Index, numShards),
 		offsets: make([]ranking.ID, numShards),
+		sizes:   make([]int, numShards),
 		hists:   make([]*Histogram, numShards),
-		k:       rankings[0].K(),
-		n:       n,
+		k:       k,
 	}
 	base, rem := n/numShards, n%numShards
 	errs := make([]error, numShards)
@@ -86,6 +113,7 @@ func New(rankings []ranking.Ranking, numShards int, build Builder) (*Sharded, er
 		}
 		chunk := rankings[lo : lo+size]
 		s.offsets[i] = ranking.ID(lo)
+		s.sizes[i] = size
 		s.hists[i] = &Histogram{}
 		wg.Add(1)
 		go func(i int, chunk []ranking.Ranking) {
@@ -106,11 +134,132 @@ func New(rankings []ranking.Ranking, numShards int, build Builder) (*Sharded, er
 // NumShards returns the number of sub-indices.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
-// Len implements Index.
-func (s *Sharded) Len() int { return s.n }
+// Len implements Index as the live ranking count summed over all shards, so
+// it stays accurate under Insert/Delete/Update.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
 
 // K implements Index.
 func (s *Sharded) K() int { return s.k }
+
+// Mutable reports whether every sub-index supports mutations; only then do
+// Insert, Delete and Update route.
+func (s *Sharded) Mutable() bool {
+	for _, sh := range s.shards {
+		if _, ok := sh.(Mutable); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrImmutable is returned by the mutation methods when a sub-index kind
+// does not support them.
+var ErrImmutable = errors.New("shard: index kind does not support mutation")
+
+// Insert adds a ranking and returns its global ID. All inserts route to the
+// last shard: its id range is the only open-ended one, so the contiguous
+// ID-range invariant — and with it the concatenation merge of Search — is
+// preserved no matter how the collection grows.
+func (s *Sharded) Insert(r ranking.Ranking) (ranking.ID, error) {
+	last := len(s.shards) - 1
+	m, ok := s.shards[last].(Mutable)
+	if !ok {
+		return 0, ErrImmutable
+	}
+	local, err := m.Insert(r)
+	if err != nil {
+		return 0, fmt.Errorf("shard %d: %w", last, err)
+	}
+	return s.offsets[last] + local, nil
+}
+
+// Delete removes the ranking with the given global ID, routing to the
+// owning shard.
+func (s *Sharded) Delete(id ranking.ID) error {
+	i, local, err := s.owner(id)
+	if err != nil {
+		return err
+	}
+	m, ok := s.shards[i].(Mutable)
+	if !ok {
+		return ErrImmutable
+	}
+	if err := m.Delete(local); err != nil {
+		return fmt.Errorf("id %d (shard %d): %w", id, i, err)
+	}
+	return nil
+}
+
+// Update replaces the ranking stored under an existing global ID, routing
+// to the owning shard. The ID stays stable.
+func (s *Sharded) Update(id ranking.ID, r ranking.Ranking) error {
+	i, local, err := s.owner(id)
+	if err != nil {
+		return err
+	}
+	m, ok := s.shards[i].(Mutable)
+	if !ok {
+		return ErrImmutable
+	}
+	if err := m.Update(local, r); err != nil {
+		return fmt.Errorf("id %d (shard %d): %w", id, i, err)
+	}
+	return nil
+}
+
+// Compact asks every sub-index that supports it to rebuild over its
+// surviving rankings, discarding tombstones. Global IDs are preserved.
+func (s *Sharded) Compact() error {
+	for i, sh := range s.shards {
+		if c, ok := sh.(interface{ Compact() error }); ok {
+			if err := c.Compact(); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Slots concatenates the per-shard external-id slot views into the global
+// one: slots[id] is the live ranking under global id, nil a retired id.
+// Feeding the result to New with the same builder and shard count restores
+// an equivalent sharded index with all ids preserved (non-last shards never
+// grow, so per-shard slot ranges stay contiguous). Returns false when a
+// sub-index kind exposes no slot view.
+func (s *Sharded) Slots() ([]ranking.Ranking, bool) {
+	var out []ranking.Ranking
+	for _, sh := range s.shards {
+		v, ok := sh.(interface{ Slots() []ranking.Ranking })
+		if !ok {
+			return nil, false
+		}
+		out = append(out, v.Slots()...)
+	}
+	return out, true
+}
+
+// owner maps a global ID to (shard, shard-local ID). IDs beyond the last
+// shard's initial range still belong to the last shard (inserts extend it);
+// whether the local id is actually assigned is decided by the sub-index.
+func (s *Sharded) owner(id ranking.ID) (int, ranking.ID, error) {
+	for i := 0; i < len(s.shards)-1; i++ {
+		if int(id-s.offsets[i]) < s.sizes[i] {
+			return i, id - s.offsets[i], nil
+		}
+	}
+	last := len(s.shards) - 1
+	if id < s.offsets[last] {
+		// Unreachable with contiguous ranges; guard anyway.
+		return 0, 0, fmt.Errorf("shard: id %d outside every shard range", id)
+	}
+	return last, id - s.offsets[last], nil
+}
 
 // DistanceCalls implements Index as the sum over all shards.
 func (s *Sharded) DistanceCalls() uint64 {
@@ -216,17 +365,20 @@ func (s *Sharded) SearchBatch(queries []ranking.Ranking, theta float64) ([][]ran
 	return out, nil
 }
 
-// ShardStats is a point-in-time view of one shard.
+// ShardStats is a point-in-time view of one shard. Len is the live ranking
+// count; Tombstones counts deleted rankings awaiting compaction (always 0
+// for immutable kinds).
 type ShardStats struct {
 	Shard         int               `json:"shard"`
 	Offset        ranking.ID        `json:"offset"`
 	Len           int               `json:"len"`
+	Tombstones    int               `json:"tombstones,omitempty"`
 	DistanceCalls uint64            `json:"distanceCalls"`
 	Latency       HistogramSnapshot `json:"latency"`
 }
 
-// Stats snapshots every shard's size, distance-call counter and query
-// latency histogram.
+// Stats snapshots every shard's live size, tombstone backlog, distance-call
+// counter and query latency histogram.
 func (s *Sharded) Stats() []ShardStats {
 	out := make([]ShardStats, len(s.shards))
 	for i, sh := range s.shards {
@@ -236,6 +388,9 @@ func (s *Sharded) Stats() []ShardStats {
 			Len:           sh.Len(),
 			DistanceCalls: sh.DistanceCalls(),
 			Latency:       s.hists[i].Snapshot(),
+		}
+		if t, ok := sh.(interface{ Tombstones() int }); ok {
+			out[i].Tombstones = t.Tombstones()
 		}
 	}
 	return out

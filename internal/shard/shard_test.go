@@ -1,18 +1,25 @@
 package shard_test
 
 import (
+	"errors"
+	"math/rand"
 	"reflect"
 	"testing"
 	"time"
 
 	"topk"
 	"topk/internal/dataset"
+	"topk/internal/difftest"
 	"topk/internal/ranking"
 	"topk/internal/shard"
 )
 
-// Sharded must itself satisfy the sharding-layer index contract.
-var _ shard.Index = (*shard.Sharded)(nil)
+// Sharded must itself satisfy the sharding-layer index contract, including
+// the mutation surface.
+var (
+	_ shard.Index   = (*shard.Sharded)(nil)
+	_ shard.Mutable = (*shard.Sharded)(nil)
+)
 
 func testCollection(t *testing.T, n, k int) ([]ranking.Ranking, []ranking.Ranking) {
 	t.Helper()
@@ -69,25 +76,7 @@ func TestShardedMatchesUnsharded(t *testing.T) {
 				if sh.Len() != len(rs) || sh.K() != 10 {
 					t.Fatalf("Len/K = %d/%d, want %d/10", sh.Len(), sh.K(), len(rs))
 				}
-				for _, theta := range thetas {
-					for qi, q := range qs {
-						want, err := ref.Search(q, theta)
-						if err != nil {
-							t.Fatalf("unsharded search: %v", err)
-						}
-						got, err := sh.Search(q, theta)
-						if err != nil {
-							t.Fatalf("sharded search: %v", err)
-						}
-						if len(want) == 0 && len(got) == 0 {
-							continue
-						}
-						if !reflect.DeepEqual(got, want) {
-							t.Fatalf("S=%d θ=%.2f query %d: sharded answer diverges\n got %v\nwant %v",
-								numShards, theta, qi, got, want)
-						}
-					}
-				}
+				difftest.CheckMatch(t, name, sh, ref, qs, thetas)
 			}
 		})
 	}
@@ -156,6 +145,91 @@ func TestStats(t *testing.T) {
 	}
 	if sh.DistanceCalls() == 0 {
 		t.Fatal("aggregate DistanceCalls is zero")
+	}
+}
+
+// TestMutationRouting checks the mutation surface of the sharded wrapper:
+// inserts extend the last shard's open id range, deletes and updates route
+// to the owning shard, the live count stays accurate, and after any mix of
+// mutations the sharded answer still matches an unsharded reference built
+// over the surviving collection.
+func TestMutationRouting(t *testing.T) {
+	rs, qs := testCollection(t, 300, 10)
+	build := func(chunk []ranking.Ranking) (shard.Index, error) {
+		return topk.NewInvertedIndexFromSlots(chunk)
+	}
+	sh, err := shard.New(rs, 4, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sh.Mutable() {
+		t.Fatal("inverted shards reported immutable")
+	}
+	rng := rand.New(rand.NewSource(3))
+	o := difftest.NewOracle(rs)
+	domain := difftest.DomainOf(rs)
+	difftest.Mutate(t, "sharded", sh, o, rng, 600, domain)
+	if sh.Len() != o.Len() {
+		t.Fatalf("Len=%d, oracle %d", sh.Len(), o.Len())
+	}
+	// Per-shard stats must sum to the live count.
+	total, tombs := 0, 0
+	for _, st := range sh.Stats() {
+		total += st.Len
+		tombs += st.Tombstones
+	}
+	if total != o.Len() {
+		t.Fatalf("shard stats sum to %d, want %d", total, o.Len())
+	}
+	if tombs == 0 {
+		t.Fatal("no tombstones reported after 600 mutations")
+	}
+	difftest.CheckSearch(t, "sharded", sh, o, rng, 10, domain)
+	// Against an unsharded reference over the same surviving slots.
+	ref, err := topk.NewInvertedIndexFromSlots(o.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	difftest.CheckMatch(t, "sharded-vs-unsharded", sh, ref, qs, []float64{0, 0.2})
+
+	// Compaction preserves ids.
+	if err := sh.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	difftest.CheckSearch(t, "sharded/compacted", sh, o, rng, 10, domain)
+
+	// Slot round-trip: rebuild from the concatenated slot view.
+	slots, ok := sh.Slots()
+	if !ok {
+		t.Fatal("no slot view")
+	}
+	sh2, err := shard.New(slots, 3, build) // different shard count on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	difftest.CheckSearch(t, "sharded/restored", sh2, o, rng, 10, domain)
+}
+
+// TestImmutableKindRejectsMutations pins ErrImmutable for read-only shards.
+func TestImmutableKindRejectsMutations(t *testing.T) {
+	rs, _ := testCollection(t, 100, 10)
+	sh, err := shard.New(rs, 2, func(chunk []ranking.Ranking) (shard.Index, error) {
+		return topk.NewBlockedIndex(chunk)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Mutable() {
+		t.Fatal("blocked shards reported mutable")
+	}
+	if _, err := sh.Insert(rs[0]); !errors.Is(err, shard.ErrImmutable) {
+		t.Fatalf("Insert = %v, want ErrImmutable", err)
+	}
+	if err := sh.Delete(1); !errors.Is(err, shard.ErrImmutable) {
+		t.Fatalf("Delete = %v, want ErrImmutable", err)
+	}
+	if err := sh.Update(1, rs[0]); !errors.Is(err, shard.ErrImmutable) {
+		t.Fatalf("Update = %v, want ErrImmutable", err)
 	}
 }
 

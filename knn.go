@@ -17,9 +17,13 @@ type NearestNeighborSearcher interface {
 	NearestNeighbors(q Ranking, n int) ([]Result, error)
 }
 
-// rangeAdapter lifts an internal searcher into knn.RangeSearcher.
+// rangeAdapter lifts an internal searcher into knn.RangeSearcher. For
+// mutable indexes, whose internal id space can have tombstone holes, ids
+// enumerates the live internal ids (knn.IDLister); immutable kinds leave it
+// nil and keep the dense-id assumption.
 type rangeAdapter struct {
 	query func(q Ranking, rawTheta int) ([]Result, error)
+	ids   func() []ranking.ID
 	n, k  int
 }
 
@@ -28,6 +32,12 @@ func (a rangeAdapter) Query(q ranking.Ranking, rawTheta int) ([]ranking.Result, 
 }
 func (a rangeAdapter) Len() int { return a.n }
 func (a rangeAdapter) K() int   { return a.k }
+func (a rangeAdapter) LiveIDs() []ranking.ID {
+	if a.ids == nil {
+		return nil
+	}
+	return a.ids()
+}
 
 // NearestNeighbors implements NearestNeighborSearcher with an exact
 // best-first BK-tree traversal for BKTree, and the expanding-radius
@@ -84,12 +94,15 @@ func (c *CoarseIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
 	defer c.pool.Put(s)
 	ev := metric.New(nil)
 	defer func() { c.calls.Add(ev.Calls()) }()
-	return knn.Expanding(rangeAdapter{
+	res, err := knn.Expanding(rangeAdapter{
 		query: func(q Ranking, raw int) ([]Result, error) {
 			return s.Query(q, raw, ev, mode)
 		},
-		n: c.idx.Len(), k: c.k,
+		ids: func() []ranking.ID { return liveInternalIDs(c.idx.Len(), c.idx.Deleted) },
+		n:   c.ids.live, k: c.k,
 	}, q, n)
+	c.ids.remapNN(res)
+	return res, err
 }
 
 // NearestNeighbors implements NearestNeighborSearcher via the
@@ -101,12 +114,15 @@ func (ii *InvertedIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
 	defer ii.pool.Put(s)
 	ev := metric.New(nil)
 	defer func() { ii.calls.Add(ev.Calls()) }()
-	return knn.Expanding(rangeAdapter{
+	res, err := knn.Expanding(rangeAdapter{
 		query: func(q Ranking, raw int) ([]Result, error) {
 			return ii.searchWith(s, q, raw, ev)
 		},
-		n: ii.idx.Len(), k: ii.k,
+		ids: func() []ranking.ID { return liveInternalIDs(ii.idx.Len(), ii.idx.Deleted) },
+		n:   ii.ids.live, k: ii.k,
 	}, q, n)
+	ii.ids.remapNN(res)
+	return res, err
 }
 
 // NearestNeighbors implements NearestNeighborSearcher via the

@@ -17,10 +17,13 @@
 // All Search methods are safe for concurrent use and run in parallel: the
 // per-query scratch state of every index lives in an internal sync.Pool, so
 // any number of goroutines can query one shared index without contending on
-// a lock. Distance-call accounting is atomic. Indexes that support Insert
-// (CoarseIndex, InvertedIndex) briefly exclude writers from readers with an
-// RWMutex; read-only structures take no lock at all. For query fan-out
-// across cores over one collection, see internal/shard and cmd/topkserve.
+// a lock. Distance-call accounting is atomic. The mutable kinds
+// (CoarseIndex, InvertedIndex) additionally implement MutableIndex — Insert,
+// Delete and Update with stable external IDs, tombstone filtering on the
+// query path and automatic compaction — and briefly exclude writers from
+// readers with an RWMutex; read-only structures take no lock at all. For
+// query fan-out across cores over one collection, see internal/shard and
+// cmd/topkserve.
 package topk
 
 import (
@@ -103,6 +106,29 @@ func validateCollection(rankings []Ranking) (int, error) {
 	return k, nil
 }
 
+// validateSlots checks an external-id slot array (nil = tombstone) and
+// returns the common ranking size and the live count. A zero live count is
+// legal — a shard of a heavily-deleted snapshot can be all tombstones — and
+// yields k = 0 until the first Insert defines the size.
+func validateSlots(slots []Ranking) (k, live int, err error) {
+	for i, r := range slots {
+		if r == nil {
+			continue
+		}
+		if live == 0 {
+			k = r.K()
+		} else if r.K() != k {
+			return 0, 0, fmt.Errorf("topk: slot %d has size %d, want %d: %w",
+				i, r.K(), k, ranking.ErrSizeMismatch)
+		}
+		if err := r.Validate(); err != nil {
+			return 0, 0, fmt.Errorf("topk: slot %d: %w", i, err)
+		}
+		live++
+	}
+	return k, live, nil
+}
+
 // ---------------------------------------------------------------------------
 // CoarseIndex
 // ---------------------------------------------------------------------------
@@ -111,27 +137,34 @@ func validateCollection(rankings []Ranking) (int, error) {
 // grouped into partitions of radius θC around medoid rankings; only the
 // medoids live in an inverted index; partitions are validated by BK-trees.
 type CoarseIndex struct {
-	// mu is write-held by Insert only; Search proceeds concurrently under
-	// the read lock, drawing its scratch state from pool.
+	// mu is write-held by mutations (Insert/Delete/Update/Compact) only;
+	// Search proceeds concurrently under the read lock, drawing its scratch
+	// state from pool.
 	mu     sync.RWMutex
 	idx    *coarse.Index
 	pool   *coarse.Pool
+	ids    idmap
 	calls  atomic.Uint64
 	k      int
 	drop   bool
 	thetaC float64
+	copts  coarse.Options
+	// compactRatio is the tombstone fraction of the inner id space above
+	// which mutations trigger an automatic rebuild; ≤ 0 disables it.
+	compactRatio float64
 }
 
 // CoarseOption configures NewCoarseIndex.
 type CoarseOption func(*coarseConfig)
 
 type coarseConfig struct {
-	thetaC     float64
-	autoTune   bool
-	maxTheta   float64
-	randMedoid bool
-	seed       int64
-	drop       bool
+	thetaC       float64
+	autoTune     bool
+	maxTheta     float64
+	randMedoid   bool
+	seed         int64
+	drop         bool
+	compactRatio float64
 }
 
 // WithThetaC fixes the normalized partitioning threshold θC (default 0.5,
@@ -160,18 +193,45 @@ func WithListDropping() CoarseOption {
 	return func(c *coarseConfig) { c.drop = true }
 }
 
+// WithCoarseCompactionRatio sets the tombstone fraction of the inner id
+// space above which Delete/Update trigger an automatic rebuild over the
+// surviving rankings (default DefaultCompactionRatio). A ratio ≤ 0 disables
+// automatic compaction; Compact can still be called explicitly.
+func WithCoarseCompactionRatio(ratio float64) CoarseOption {
+	return func(c *coarseConfig) { c.compactRatio = ratio }
+}
+
 // NewCoarseIndex builds a coarse index over the collection.
 func NewCoarseIndex(rankings []Ranking, opts ...CoarseOption) (*CoarseIndex, error) {
-	k, err := validateCollection(rankings)
-	if err != nil {
+	if _, err := validateCollection(rankings); err != nil {
 		return nil, err
 	}
-	cfg := coarseConfig{thetaC: 0.5}
+	return newCoarseFromSlots(rankings, opts)
+}
+
+// NewCoarseIndexFromSlots builds a coarse index from an external-id slot
+// array as produced by (*CoarseIndex).Slots or a persist snapshot v2: the
+// ranking at position i gets external ID i, and nil entries are tombstoned
+// IDs that stay retired. At least one slot must be live.
+func NewCoarseIndexFromSlots(slots []Ranking, opts ...CoarseOption) (*CoarseIndex, error) {
+	if _, _, err := validateSlots(slots); err != nil {
+		return nil, err
+	}
+	return newCoarseFromSlots(slots, opts)
+}
+
+func newCoarseFromSlots(slots []Ranking, opts []CoarseOption) (*CoarseIndex, error) {
+	m, live := newSlotsIDMap(slots)
+	k := 0
+	if len(live) > 0 {
+		k = live[0].K()
+	}
+	cfg := coarseConfig{thetaC: 0.5, compactRatio: DefaultCompactionRatio}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.autoTune {
-		tc, err := tuneThetaC(rankings, k, cfg.maxTheta)
+	if cfg.autoTune && len(live) > 0 {
+		tc, err := tuneThetaC(live, k, cfg.maxTheta)
 		if err != nil {
 			return nil, err
 		}
@@ -181,16 +241,19 @@ func NewCoarseIndex(rankings []Ranking, opts ...CoarseOption) (*CoarseIndex, err
 	if cfg.randMedoid {
 		copts.Strategy = coarse.RandomMedoids
 	}
-	idx, err := coarse.New(rankings, ranking.RawThreshold(cfg.thetaC, k), copts)
+	idx, err := coarse.New(live, ranking.RawThreshold(cfg.thetaC, k), copts)
 	if err != nil {
 		return nil, err
 	}
 	return &CoarseIndex{
-		idx:    idx,
-		pool:   coarse.NewPool(idx),
-		k:      k,
-		drop:   cfg.drop,
-		thetaC: cfg.thetaC,
+		idx:          idx,
+		pool:         coarse.NewPool(idx),
+		ids:          m,
+		k:            k,
+		drop:         cfg.drop,
+		thetaC:       cfg.thetaC,
+		copts:        copts,
+		compactRatio: cfg.compactRatio,
 	}, nil
 }
 
@@ -225,11 +288,16 @@ func (c *CoarseIndex) Search(q Ranking, theta float64) ([]Result, error) {
 	ev := metric.New(nil)
 	res, err := s.Query(q, ranking.RawThreshold(theta, c.k), ev, mode)
 	c.calls.Add(ev.Calls())
+	c.ids.remapSearch(res)
 	return res, err
 }
 
-// Len implements Index.
-func (c *CoarseIndex) Len() int { return c.idx.Len() }
+// Len implements Index, counting live (non-deleted) rankings.
+func (c *CoarseIndex) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ids.live
+}
 
 // K implements Index.
 func (c *CoarseIndex) K() int { return c.k }
@@ -241,7 +309,11 @@ func (c *CoarseIndex) DistanceCalls() uint64 { return c.calls.Load() }
 func (c *CoarseIndex) ThetaC() float64 { return c.thetaC }
 
 // NumPartitions reports how many medoid partitions the index holds.
-func (c *CoarseIndex) NumPartitions() int { return c.idx.NumPartitions() }
+func (c *CoarseIndex) NumPartitions() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.NumPartitions()
+}
 
 // ---------------------------------------------------------------------------
 // InvertedIndex
@@ -265,14 +337,19 @@ const (
 // InvertedIndex is the rank-augmented inverted index with the paper's
 // filter-and-validate algorithm family.
 type InvertedIndex struct {
-	// mu is write-held by Insert only; Search proceeds concurrently under
-	// the read lock, drawing its scratch state from pool.
+	// mu is write-held by mutations (Insert/Delete/Update/Compact) only;
+	// Search proceeds concurrently under the read lock, drawing its scratch
+	// state from pool.
 	mu    sync.RWMutex
 	idx   *invindex.Index
 	pool  *invindex.Pool
+	ids   idmap
 	calls atomic.Uint64
 	k     int
 	alg   Algorithm
+	// compactRatio is the tombstone fraction of the inner id space above
+	// which mutations trigger an automatic rebuild; ≤ 0 disables it.
+	compactRatio float64
 }
 
 // InvOption configures NewInvertedIndex.
@@ -284,21 +361,50 @@ func WithAlgorithm(a Algorithm) InvOption {
 	return func(ii *InvertedIndex) { ii.alg = a }
 }
 
+// WithCompactionRatio sets the tombstone fraction of the inner id space
+// above which Delete/Update trigger an automatic rebuild over the surviving
+// rankings (default DefaultCompactionRatio). A ratio ≤ 0 disables automatic
+// compaction; Compact can still be called explicitly.
+func WithCompactionRatio(ratio float64) InvOption {
+	return func(ii *InvertedIndex) { ii.compactRatio = ratio }
+}
+
 // NewInvertedIndex builds a rank-augmented inverted index.
 func NewInvertedIndex(rankings []Ranking, opts ...InvOption) (*InvertedIndex, error) {
-	k, err := validateCollection(rankings)
+	if _, err := validateCollection(rankings); err != nil {
+		return nil, err
+	}
+	return newInvertedFromSlots(rankings, opts)
+}
+
+// NewInvertedIndexFromSlots builds an inverted index from an external-id
+// slot array as produced by (*InvertedIndex).Slots or a persist snapshot v2:
+// the ranking at position i gets external ID i, and nil entries are
+// tombstoned IDs that stay retired. At least one slot must be live.
+func NewInvertedIndexFromSlots(slots []Ranking, opts ...InvOption) (*InvertedIndex, error) {
+	if _, _, err := validateSlots(slots); err != nil {
+		return nil, err
+	}
+	return newInvertedFromSlots(slots, opts)
+}
+
+func newInvertedFromSlots(slots []Ranking, opts []InvOption) (*InvertedIndex, error) {
+	m, live := newSlotsIDMap(slots)
+	idx, err := invindex.New(live)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := invindex.New(rankings)
-	if err != nil {
-		return nil, err
+	k := 0
+	if len(live) > 0 {
+		k = live[0].K()
 	}
 	ii := &InvertedIndex{
-		idx:  idx,
-		pool: invindex.NewPool(idx),
-		k:    k,
-		alg:  FilterValidateDrop,
+		idx:          idx,
+		pool:         invindex.NewPool(idx),
+		ids:          m,
+		k:            k,
+		alg:          FilterValidateDrop,
+		compactRatio: DefaultCompactionRatio,
 	}
 	for _, o := range opts {
 		o(ii)
@@ -315,6 +421,7 @@ func (ii *InvertedIndex) Search(q Ranking, theta float64) ([]Result, error) {
 	ev := metric.New(nil)
 	res, err := ii.searchWith(s, q, ranking.RawThreshold(theta, ii.k), ev)
 	ii.calls.Add(ev.Calls())
+	ii.ids.remapSearch(res)
 	return res, err
 }
 
@@ -332,8 +439,12 @@ func (ii *InvertedIndex) searchWith(s *invindex.Searcher, q Ranking, raw int, ev
 	}
 }
 
-// Len implements Index.
-func (ii *InvertedIndex) Len() int { return ii.idx.Len() }
+// Len implements Index, counting live (non-deleted) rankings.
+func (ii *InvertedIndex) Len() int {
+	ii.mu.RLock()
+	defer ii.mu.RUnlock()
+	return ii.ids.live
+}
 
 // K implements Index.
 func (ii *InvertedIndex) K() int { return ii.k }

@@ -6,7 +6,7 @@ import (
 	"testing"
 
 	"topk/internal/dataset"
-	"topk/internal/ranking"
+	"topk/internal/difftest"
 )
 
 func testCollection(t *testing.T, n int) []Ranking {
@@ -18,38 +18,20 @@ func testCollection(t *testing.T, n int) []Ranking {
 	return rs
 }
 
+// brute is the linear-scan reference for a static collection, backed by the
+// shared differential-test oracle.
 func brute(rs []Ranking, q Ranking, theta float64) []Result {
-	raw := ranking.RawThreshold(theta, q.K())
-	var out []Result
-	for id, r := range rs {
-		if d := Distance(q, r); d <= raw {
-			out = append(out, Result{ID: ID(id), Dist: d})
-		}
-	}
-	ranking.SortResults(out)
-	return out
+	res, _ := difftest.NewOracle(rs).Search(q, theta)
+	return res
 }
 
+// checkIndexAgainstBrute runs the shared differential harness: random
+// member and non-member queries across the threshold grid, byte-identical
+// against the linear-scan oracle.
 func checkIndexAgainstBrute(t *testing.T, idx Index, rs []Ranking, name string) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(7))
-	for trial := 0; trial < 20; trial++ {
-		q := rs[rng.Intn(len(rs))]
-		theta := []float64{0, 0.1, 0.2, 0.3}[rng.Intn(4)]
-		got, err := idx.Search(q, theta)
-		if err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
-		want := brute(rs, q, theta)
-		if len(got) != len(want) {
-			t.Fatalf("%s θ=%.1f: %d results, want %d", name, theta, len(got), len(want))
-		}
-		for i := range got {
-			if got[i] != want[i] {
-				t.Fatalf("%s: result %d = %v, want %v", name, i, got[i], want[i])
-			}
-		}
-	}
+	difftest.CheckSearch(t, name, idx, difftest.NewOracle(rs), rng, 20, difftest.DomainOf(rs))
 }
 
 func TestAllPublicIndexesAgree(t *testing.T) {
