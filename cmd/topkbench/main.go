@@ -7,14 +7,22 @@
 //	topkbench -experiment fig8 [-scale small|default] [-k 10]
 //	topkbench -experiment all -scale small
 //	topkbench -parallel -scale medium
+//	topkbench -experiment sweep -json bench.json
 //
 // Experiments: fig3 fig5 fig6 fig7 tab5 fig8 fig9 fig10 tab6 stats parallel
+// sweep
 //
 // The parallel experiment (also selectable with the -parallel shorthand) is
 // not from the paper: it measures multicore query throughput of one shared
 // index under 1..GOMAXPROCS concurrent load generators, plus a sharded
 // coarse index (internal/shard), demonstrating the speedup of the pooled
 // per-query scratch state.
+//
+// The sweep experiment measures every physical backend plus the hybrid
+// engine across the θ grid on both datasets; -json <path> writes its
+// records (backend, n, theta, distance calls, ns/op, hybrid plan counts) as
+// machine-readable JSON — the BENCH_*.json perf trajectory — and implies
+// the sweep when no experiment selects it.
 package main
 
 import (
@@ -30,10 +38,11 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id: fig3|fig5|fig6|fig7|tab5|fig8|fig9|fig10|tab6|stats|parallel|all")
+		experiment = flag.String("experiment", "all", "experiment id: fig3|fig5|fig6|fig7|tab5|fig8|fig9|fig10|tab6|stats|parallel|sweep|all")
 		scaleName  = flag.String("scale", "small", "dataset scale: small|medium|default")
 		k          = flag.Int("k", 10, "ranking size for the single-k experiments")
 		parallel   = flag.Bool("parallel", false, "shorthand for -experiment parallel (multicore throughput)")
+		jsonPath   = flag.String("json", "", "write the sweep's machine-readable records to this file (implies -experiment sweep)")
 	)
 	flag.Parse()
 	if *parallel {
@@ -56,12 +65,64 @@ func main() {
 	if *experiment == "all" {
 		ids = []string{"stats", "fig3", "fig5", "fig6", "fig7", "tab5", "fig8", "fig9", "fig10", "tab6"}
 	}
+	if *jsonPath != "" {
+		found := false
+		for _, id := range ids {
+			if strings.TrimSpace(id) == "sweep" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			ids = append(ids, "sweep")
+		}
+	}
 	for _, id := range ids {
-		if err := run(strings.TrimSpace(id), sc, *k); err != nil {
+		id = strings.TrimSpace(id)
+		if id == "sweep" {
+			if err := runSweep(sc, *k, *jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "experiment sweep: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		if err := run(id, sc, *k); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
 			os.Exit(1)
 		}
 	}
+}
+
+// runSweep measures every backend and the hybrid engine on both datasets
+// and optionally writes the machine-readable records.
+func runSweep(sc bench.Scale, k int, jsonPath string) error {
+	nyt, yago, err := bench.Envs(sc, k)
+	if err != nil {
+		return err
+	}
+	thetas := []float64{0, 0.1, 0.2, 0.3}
+	var recs []bench.Record
+	for _, env := range []*bench.Env{nyt, yago} {
+		r, err := bench.Sweep(env, thetas)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, r...)
+	}
+	bench.SweepTable(recs).Fprint(os.Stdout)
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bench.WriteJSON(f, recs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d sweep records to %s\n", len(recs), jsonPath)
+	return nil
 }
 
 func run(id string, sc bench.Scale, k int) error {

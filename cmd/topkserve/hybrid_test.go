@@ -1,0 +1,315 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"testing"
+
+	"topk"
+	"topk/internal/dataset"
+	"topk/internal/ranking"
+	"topk/internal/shard"
+)
+
+// TestHybridServe drives the hybrid kind end to end over HTTP: routed
+// searches match a single-backend reference byte-for-byte, GET /stats
+// exposes the aggregated per-backend plan counters, and mutations are
+// rejected with 400.
+func TestHybridServe(t *testing.T) {
+	cfg := dataset.NYTLike(300, 10)
+	rs, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := dataset.Workload(rs, cfg, 12, 0.8, cfg.Seed+1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := shard.New(rs, 3, builderFor("hybrid", 0.3, "", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(sh, "hybrid").routes()
+	ref, err := topk.NewInvertedIndex(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []float64{0, 0.1, 0.2, 0.3} {
+		for _, q := range qs {
+			rec := postSearch(t, h, map[string]any{"query": q, "theta": theta})
+			if rec.Code != http.StatusOK {
+				t.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+			var resp searchResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.Search(q, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Results) != len(want) {
+				t.Fatalf("θ=%.2f: %d results, want %d", theta, len(resp.Results), len(want))
+			}
+			for i, r := range resp.Results {
+				if r.ID != want[i].ID || r.Dist != want[i].Dist {
+					t.Fatalf("θ=%.2f result %d: got (%d,%d), want (%d,%d)",
+						theta, i, r.ID, r.Dist, want[i].ID, want[i].Dist)
+				}
+			}
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Index != "hybrid" || st.Mutable {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+	if len(st.Planner) == 0 {
+		t.Fatal("hybrid stats missing planner scoreboard")
+	}
+	var plans uint64
+	for _, b := range st.Planner {
+		plans += b.Plans
+		if b.Observations == 0 {
+			t.Fatalf("backend %s has no observations despite calibration", b.Backend)
+		}
+	}
+	// Every query fans out to all shards, and each shard's planner counts
+	// its own plan.
+	if want := uint64(4 * len(qs) * sh.NumShards()); plans != want {
+		t.Fatalf("plan counters sum to %d, want %d", plans, want)
+	}
+
+	if rec := post(t, h, "/insert", `{"ranking":[901,902,903,904,905,906,907,908,909,910]}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("insert on hybrid: status %d, want 400", rec.Code)
+	}
+
+	// GET /snapshot works for hybrid (slot view), and the forced-backend
+	// flag builds a pinned engine.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/snapshot", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot status %d", rec.Code)
+	}
+	forced, err := shard.New(rs, 2, builderFor("hybrid", 0.3, "coarse", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf := newServer(forced, "hybrid").routes()
+	postSearch(t, hf, map[string]any{"query": qs[0], "theta": 0.2})
+	rec = httptest.NewRecorder()
+	hf.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	st = statsResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range st.Planner {
+		if b.Backend != "coarse" && b.Plans != 0 {
+			t.Fatalf("forced engine planned %s: %+v", b.Backend, st.Planner)
+		}
+		if b.Backend == "coarse" && b.Plans == 0 {
+			t.Fatal("forced backend saw no plans")
+		}
+	}
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestKNNEndpoint checks POST /knn against the brute-force oracle across
+// the sharded fan-out, plus its validation contract.
+func TestKNNEndpoint(t *testing.T) {
+	srv, rs, qs := testServer(t)
+	h := srv.routes()
+	for _, q := range qs[:5] {
+		rec := postJSON(t, h, "/knn", map[string]any{"query": q, "n": 7})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		var resp knnResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		want := bruteKNN(rs, q, 7)
+		if resp.Count != len(want) {
+			t.Fatalf("count %d, want %d", resp.Count, len(want))
+		}
+		for i, r := range resp.Results {
+			if r.ID != want[i].ID || r.Dist != want[i].Dist {
+				t.Fatalf("result %d: got (%d,%d), want (%d,%d)", i, r.ID, r.Dist, want[i].ID, want[i].Dist)
+			}
+		}
+	}
+	// n larger than the collection truncates to Len.
+	rec := postJSON(t, h, "/knn", map[string]any{"query": qs[0], "n": 100000})
+	var resp knnResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != len(rs) {
+		t.Fatalf("oversized n returned %d results, want %d", resp.Count, len(rs))
+	}
+
+	for i, body := range []string{
+		`{"n":5}`,                                      // missing query
+		`{"query":[1,2,3],"n":5}`,                      // wrong k
+		`{"query":[1,2,3,4,5,6,7,8,9,10],"n":0}`,       // n must be positive
+		`{"query":[1,1,2,3,4,5,6,7,8,9],"n":5}`,        // duplicate items
+		`{"query":[1,2,3,4,5,6,7,8,9,10],"n":5,"x":1}`, // unknown field
+	} {
+		if rec := post(t, h, "/knn", body); rec.Code != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d, want 400 (%s)", i, rec.Code, rec.Body)
+		}
+	}
+
+	// KNN traffic shows up in /stats.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.KNNQueries != 6 {
+		t.Fatalf("knnQueries %d, want 6", st.KNNQueries)
+	}
+}
+
+func bruteKNN(rs []ranking.Ranking, q ranking.Ranking, n int) []ranking.Result {
+	all := make([]ranking.Result, len(rs))
+	for id, r := range rs {
+		all[id] = ranking.Result{ID: ranking.ID(id), Dist: ranking.Footrule(q, r)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// TestBatchModes checks the /search batch dispatch: uniform radii over a
+// batch-capable kind take the shared-candidate path, mixed radii fall back
+// to per-query search, and both agree with the single-query answers.
+func TestBatchModes(t *testing.T) {
+	rs, err := dataset.Generate(dataset.NYTLike(300, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := dataset.Workload(rs, dataset.NYTLike(300, 10), 8, 0.8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := shard.New(rs, 3, builderFor("inverted-drop", 0.3, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(sh, "inverted-drop").routes()
+
+	single := func(q ranking.Ranking, theta float64) []resultJSON {
+		rec := postSearch(t, h, map[string]any{"query": q, "theta": theta})
+		var resp searchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Results
+	}
+
+	// Uniform batch → shared mode.
+	rec := postSearch(t, h, map[string]any{"queries": qs, "theta": 0.2})
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.BatchMode != "shared" {
+		t.Fatalf("uniform batch mode %q, want shared", resp.BatchMode)
+	}
+	for i, q := range qs {
+		want := single(q, 0.2)
+		if !reflect.DeepEqual(resp.Answers[i].Results, want) &&
+			!(len(resp.Answers[i].Results) == 0 && len(want) == 0) {
+			t.Fatalf("shared batch query %d diverges from single answer", i)
+		}
+	}
+
+	// Equal per-query thetas still count as uniform.
+	thetas := make([]float64, len(qs))
+	for i := range thetas {
+		thetas[i] = 0.2
+	}
+	rec = postSearch(t, h, map[string]any{"queries": qs, "thetas": thetas})
+	resp = searchResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.BatchMode != "shared" {
+		t.Fatalf("uniform thetas batch mode %q, want shared", resp.BatchMode)
+	}
+
+	// Mixed radii → per-query fallback, still correct per query.
+	for i := range thetas {
+		thetas[i] = []float64{0.1, 0.2, 0.3}[i%3]
+	}
+	rec = postSearch(t, h, map[string]any{"queries": qs, "thetas": thetas})
+	resp = searchResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.BatchMode != "per-query" {
+		t.Fatalf("mixed batch mode %q, want per-query", resp.BatchMode)
+	}
+	for i, q := range qs {
+		want := single(q, thetas[i])
+		if !reflect.DeepEqual(resp.Answers[i].Results, want) &&
+			!(len(resp.Answers[i].Results) == 0 && len(want) == 0) {
+			t.Fatalf("mixed batch query %d diverges from single answer", i)
+		}
+	}
+
+	// Validation: thetas without queries, length mismatch, out of range.
+	for i, body := range []map[string]any{
+		{"query": qs[0], "thetas": thetas, "theta": 0.2},
+		{"queries": qs, "thetas": thetas[:2]},
+		{"queries": qs, "thetas": append([]float64{1.5}, thetas[1:]...)},
+	} {
+		if rec := postSearch(t, h, body); rec.Code != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d, want 400 (%s)", i, rec.Code, rec.Body)
+		}
+	}
+
+	// Batch counters reflect the split.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BatchShared != 2 || st.BatchPerQuery != 1 {
+		t.Fatalf("batch counters shared=%d perQuery=%d, want 2/1", st.BatchShared, st.BatchPerQuery)
+	}
+	if st.Planner != nil {
+		t.Fatalf("non-hybrid kind exposes planner stats: %+v", st.Planner)
+	}
+}

@@ -5,26 +5,38 @@
 //
 // Usage:
 //
-//	topkgen -preset nyt -n 50000 | topkserve -data - -index coarse
-//	topkserve -load-snapshot rankings.bin -index blocked-drop -shards 8
+//	topkgen -preset nyt -n 50000 | topkserve -data - -kind hybrid
+//	topkserve -load-snapshot rankings.bin -kind blocked-drop -shards 8
 //
 // Endpoints:
 //
 //	POST /search   {"query":[1,2,3],"theta":0.2}            single query
 //	               {"queries":[[1,2,3],[4,5,6]],"theta":0.2} batch
+//	               {"queries":[...],"thetas":[0.1,0.3]}      mixed-radius batch
+//	POST /knn      {"query":[1,2,3],"n":5}      exact k-nearest neighbors
 //	POST /insert   {"ranking":[1,2,3]}          add a ranking, returns its id
 //	POST /delete   {"id":7}                     remove a ranking
 //	POST /update   {"id":7,"ranking":[3,2,1]}   replace a ranking, id stable
 //	GET  /snapshot binary persist-v2 snapshot of the live collection
 //	GET  /stats    live collection size, per-shard Len/Tombstones/
-//	               DistanceCalls/latency histograms
+//	               DistanceCalls/latency histograms; for -kind hybrid also
+//	               the per-backend plan counters of the query planner
 //	GET  /healthz  liveness probe
 //
+// The hybrid kind (-kind hybrid) builds every physical backend per shard
+// and routes each query to the one the cost model predicts cheapest;
+// -force-backend pins routing and -calibrate replays sample queries against
+// all backends at startup. Uniform-threshold batches are answered with
+// shared-candidate processing (the paper's Section 8 batch mode) when the
+// index kind supports it; mixed-radius batches fall back to per-query
+// search.
+//
 // Mutations are supported by the mutable index kinds (coarse*, inverted*,
-// merge); the read-only kinds (blocked*, bktree, mtree, vptree) serve
-// search traffic only and reject mutations with 400. GET /snapshot saved to
-// a file and passed back via -load-snapshot reloads with all ids preserved
-// — tombstoned ids stay retired; v1 snapshots load as all-live collections.
+// merge); the read-only kinds (hybrid, blocked*, bktree, mtree, vptree)
+// serve search traffic only and reject mutations with 400. GET /snapshot
+// saved to a file and passed back via -load-snapshot reloads with all ids
+// preserved — tombstoned ids stay retired; v1 snapshots load as all-live
+// collections.
 package main
 
 import (
@@ -51,13 +63,16 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		dataPath = flag.String("data", "", "collection path (- = stdin), one ranking per line")
-		snapPath = flag.String("load-snapshot", "", "binary collection snapshot (see topkgen -format binary / topkquery -save-snapshot)")
-		kind     = flag.String("index", "coarse", "coarse|coarse-drop|inverted|inverted-drop|merge|blocked|blocked-drop|bktree|mtree|vptree")
-		shards   = flag.Int("shards", 0, "number of shards (0 = GOMAXPROCS)")
-		maxTheta = flag.Float64("maxtheta", 0.3, "auto-tune target threshold for the coarse index")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataPath  = flag.String("data", "", "collection path (- = stdin), one ranking per line")
+		snapPath  = flag.String("load-snapshot", "", "binary collection snapshot (see topkgen -format binary / topkquery -save-snapshot)")
+		kind      = flag.String("kind", "coarse", "hybrid|coarse|coarse-drop|inverted|inverted-drop|merge|blocked|blocked-drop|bktree|mtree|vptree")
+		shards    = flag.Int("shards", 0, "number of shards (0 = GOMAXPROCS)")
+		maxTheta  = flag.Float64("maxtheta", 0.3, "auto-tune target threshold for the coarse index / hybrid planner")
+		force     = flag.String("force-backend", "", "hybrid only: pin all routing to one backend (inverted|blocked|coarse|bktree|adaptsearch)")
+		calibrate = flag.Int("calibrate", 0, "hybrid only: replay this many sample queries per shard against every backend at startup")
 	)
+	flag.StringVar(kind, "index", *kind, "deprecated alias for -kind")
 	flag.Parse()
 
 	rankings, err := loadCollection(*dataPath, *snapPath)
@@ -65,7 +80,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if !mutableKind(*kind) {
+	if !slotKind(*kind) {
 		// Read-only kinds cannot represent retired ids: compact any
 		// tombstoned snapshot slots away and renumber densely.
 		if compacted, dropped := dropTombstones(rankings); dropped > 0 {
@@ -75,7 +90,7 @@ func main() {
 		}
 	}
 	start := time.Now()
-	sh, err := shard.New(rankings, *shards, builderFor(*kind, *maxTheta))
+	sh, err := shard.New(rankings, *shards, builderFor(*kind, *maxTheta, *force, *calibrate))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -158,6 +173,13 @@ func mutableKind(kind string) bool {
 	return false
 }
 
+// slotKind reports whether an index kind can represent retired (tombstoned)
+// snapshot slots: the mutable kinds and the hybrid engine, whose backends
+// all rebuild from one slot array.
+func slotKind(kind string) bool {
+	return mutableKind(kind) || kind == "hybrid"
+}
+
 // dropTombstones removes nil (tombstoned) slots, renumbering densely.
 func dropTombstones(slots []ranking.Ranking) ([]ranking.Ranking, int) {
 	out := make([]ranking.Ranking, 0, len(slots))
@@ -169,12 +191,21 @@ func dropTombstones(slots []ranking.Ranking) ([]ranking.Ranking, int) {
 	return out, len(slots) - len(out)
 }
 
-// builderFor returns the shard builder for an index kind name. Mutable
+// builderFor returns the shard builder for an index kind name. Slot-capable
 // kinds build from slots so that tombstoned snapshot entries keep their ids
-// retired; read-only kinds require a dense collection (see dropTombstones).
-func builderFor(kind string, maxTheta float64) shard.Builder {
+// retired; the other kinds require a dense collection (see dropTombstones).
+func builderFor(kind string, maxTheta float64, force string, calibrate int) shard.Builder {
 	return func(rs []ranking.Ranking) (shard.Index, error) {
 		switch kind {
+		case "hybrid":
+			opts := []topk.HybridOption{topk.WithHybridMaxTheta(maxTheta)}
+			if force != "" {
+				opts = append(opts, topk.WithForcedBackend(force))
+			}
+			if calibrate > 0 {
+				opts = append(opts, topk.WithHybridCalibration(calibrate))
+			}
+			return topk.NewHybridIndexFromSlots(rs, opts...)
 		case "coarse":
 			return topk.NewCoarseIndexFromSlots(rs, topk.WithAutoTune(maxTheta))
 		case "coarse-drop":
@@ -203,11 +234,16 @@ func builderFor(kind string, maxTheta float64) shard.Builder {
 
 // server holds the shared sharded index and request counters.
 type server struct {
-	sh        *shard.Sharded
-	kind      string
-	started   time.Time
-	queries   atomic.Uint64
-	mutations atomic.Uint64
+	sh      *shard.Sharded
+	kind    string
+	started time.Time
+	queries atomic.Uint64
+	knn     atomic.Uint64
+	// batchShared counts batches answered by the shared-candidate processor,
+	// batchSplit those that fell back to independent per-query searches.
+	batchShared atomic.Uint64
+	batchSplit  atomic.Uint64
+	mutations   atomic.Uint64
 }
 
 func newServer(sh *shard.Sharded, kind string) *server {
@@ -217,6 +253,7 @@ func newServer(sh *shard.Sharded, kind string) *server {
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /search", s.handleSearch)
+	mux.HandleFunc("POST /knn", s.handleKNN)
 	mux.HandleFunc("POST /insert", s.handleInsert)
 	mux.HandleFunc("POST /delete", s.handleDelete)
 	mux.HandleFunc("POST /update", s.handleUpdate)
@@ -243,11 +280,13 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// searchRequest is the /search payload: exactly one of Query or Queries.
+// searchRequest is the /search payload: exactly one of Query or Queries,
+// with either one shared Theta or (batch only) one theta per query.
 type searchRequest struct {
 	Query   ranking.Ranking   `json:"query,omitempty"`
 	Queries []ranking.Ranking `json:"queries,omitempty"`
 	Theta   float64           `json:"theta"`
+	Thetas  []float64         `json:"thetas,omitempty"`
 }
 
 // resultJSON augments a raw result with its normalized distance.
@@ -267,6 +306,9 @@ type searchResponse struct {
 	Count      int          `json:"count,omitempty"`
 	Results    []resultJSON `json:"results,omitempty"`
 	Answers    []answerJSON `json:"answers,omitempty"`
+	// BatchMode reports how a batch was processed: "shared" when the
+	// shared-candidate batch processor answered it, "per-query" otherwise.
+	BatchMode string `json:"batchMode,omitempty"`
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -280,6 +322,26 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if (req.Query == nil) == (req.Queries == nil) {
 		httpError(w, http.StatusBadRequest, "pass exactly one of \"query\" or \"queries\"")
 		return
+	}
+	if req.Queries != nil && len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "\"queries\" must not be empty")
+		return
+	}
+	if req.Thetas != nil {
+		if req.Queries == nil {
+			httpError(w, http.StatusBadRequest, "\"thetas\" requires \"queries\"")
+			return
+		}
+		if len(req.Thetas) != len(req.Queries) {
+			httpError(w, http.StatusBadRequest, "%d thetas for %d queries", len(req.Thetas), len(req.Queries))
+			return
+		}
+		for i, t := range req.Thetas {
+			if t < 0 || t > 1 {
+				httpError(w, http.StatusBadRequest, "thetas[%d] = %v outside [0,1]", i, t)
+				return
+			}
+		}
 	}
 	if req.Theta < 0 || req.Theta > 1 {
 		httpError(w, http.StatusBadRequest, "theta %v outside [0,1]", req.Theta)
@@ -301,7 +363,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	answers, err := s.sh.SearchBatch(queries, req.Theta)
+	answers, mode, err := s.runSearch(req, queries)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "search: %v", err)
 		return
@@ -312,12 +374,98 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp.Count = len(answers[0])
 		resp.Results = s.toJSON(answers[0])
 	} else {
+		resp.BatchMode = mode
 		resp.Answers = make([]answerJSON, len(answers))
 		for i, a := range answers {
 			resp.Answers[i] = answerJSON{Count: len(a), Results: s.toJSON(a)}
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// runSearch dispatches a validated /search request: uniform-threshold
+// batches go through the shared-candidate batch processor when the index
+// kind supports it, mixed-radius batches (and kinds without batch support)
+// fall back to independent per-query searches.
+func (s *server) runSearch(req searchRequest, queries []ranking.Ranking) ([][]ranking.Result, string, error) {
+	theta, uniform := req.Theta, true
+	if req.Thetas != nil {
+		theta = req.Thetas[0]
+		for _, t := range req.Thetas[1:] {
+			if t != theta {
+				uniform = false
+				break
+			}
+		}
+	}
+	if !uniform {
+		s.batchSplit.Add(1)
+		res, err := s.sh.SearchBatchThetas(queries, req.Thetas)
+		return res, "per-query", err
+	}
+	if req.Query == nil && len(queries) > 1 {
+		if res, ok, err := s.sh.SearchBatchShared(queries, theta); ok {
+			s.batchShared.Add(1)
+			return res, "shared", err
+		}
+	}
+	if req.Query == nil {
+		s.batchSplit.Add(1)
+	}
+	res, err := s.sh.SearchBatch(queries, theta)
+	return res, "per-query", err
+}
+
+// knnRequest is the /knn payload.
+type knnRequest struct {
+	Query ranking.Ranking `json:"query"`
+	N     int             `json:"n"`
+}
+
+type knnResponse struct {
+	TookMicros int64        `json:"tookMicros"`
+	Count      int          `json:"count"`
+	Results    []resultJSON `json:"results"`
+}
+
+// handleKNN answers an exact k-nearest-neighbor query with the sharded
+// per-shard fan-out and (distance, id) heap merge.
+func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req knnRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Query == nil {
+		httpError(w, http.StatusBadRequest, "missing \"query\"")
+		return
+	}
+	if req.N <= 0 {
+		httpError(w, http.StatusBadRequest, "\"n\" must be positive, have %d", req.N)
+		return
+	}
+	if req.Query.K() != s.sh.K() {
+		httpError(w, http.StatusBadRequest, "query has size %d, index has k=%d", req.Query.K(), s.sh.K())
+		return
+	}
+	if err := req.Query.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	res, err := s.sh.NearestNeighbors(req.Query, req.N)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "knn: %v", err)
+		return
+	}
+	s.knn.Add(1)
+	writeJSON(w, http.StatusOK, knnResponse{
+		TookMicros: time.Since(start).Microseconds(),
+		Count:      len(res),
+		Results:    s.toJSON(res),
+	})
 }
 
 func (s *server) toJSON(rs []ranking.Result) []resultJSON {
@@ -446,16 +594,64 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	Index         string             `json:"index"`
-	N             int                `json:"n"`
-	K             int                `json:"k"`
-	NumShards     int                `json:"numShards"`
-	Mutable       bool               `json:"mutable"`
-	Queries       uint64             `json:"queries"`
-	Mutations     uint64             `json:"mutations"`
-	DistanceCalls uint64             `json:"distanceCalls"`
-	UptimeSeconds float64            `json:"uptimeSeconds"`
-	Shards        []shard.ShardStats `json:"shards"`
+	Index         string  `json:"index"`
+	N             int     `json:"n"`
+	K             int     `json:"k"`
+	NumShards     int     `json:"numShards"`
+	Mutable       bool    `json:"mutable"`
+	Queries       uint64  `json:"queries"`
+	KNNQueries    uint64  `json:"knnQueries"`
+	BatchShared   uint64  `json:"batchShared"`
+	BatchPerQuery uint64  `json:"batchPerQuery"`
+	Mutations     uint64  `json:"mutations"`
+	DistanceCalls uint64  `json:"distanceCalls"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Planner is the per-backend plan scoreboard of the hybrid engine,
+	// aggregated across shards; absent for single-backend kinds.
+	Planner []topk.PlanStats   `json:"planner,omitempty"`
+	Shards  []shard.ShardStats `json:"shards"`
+}
+
+// planStats is implemented by hybrid sub-indices.
+type planStats interface{ PlanStats() []topk.PlanStats }
+
+// aggregatePlanStats merges the per-shard plan scoreboards by backend name:
+// plan and observation counters add up, the EWMAs combine as
+// observation-weighted means.
+func aggregatePlanStats(sh *shard.Sharded) []topk.PlanStats {
+	var order []string
+	acc := make(map[string]*topk.PlanStats)
+	weightLat := make(map[string]float64)
+	weightDFC := make(map[string]float64)
+	for i := 0; i < sh.NumShards(); i++ {
+		sub, _ := sh.Shard(i)
+		ps, ok := sub.(planStats)
+		if !ok {
+			return nil
+		}
+		for _, st := range ps.PlanStats() {
+			a := acc[st.Backend]
+			if a == nil {
+				a = &topk.PlanStats{Backend: st.Backend}
+				acc[st.Backend] = a
+				order = append(order, st.Backend)
+			}
+			a.Plans += st.Plans
+			a.Observations += st.Observations
+			weightLat[st.Backend] += float64(st.Observations) * st.EWMALatencyNanos
+			weightDFC[st.Backend] += float64(st.Observations) * st.EWMADistanceCalls
+		}
+	}
+	out := make([]topk.PlanStats, 0, len(order))
+	for _, name := range order {
+		a := acc[name]
+		if a.Observations > 0 {
+			a.EWMALatencyNanos = weightLat[name] / float64(a.Observations)
+			a.EWMADistanceCalls = weightDFC[name] / float64(a.Observations)
+		}
+		out = append(out, *a)
+	}
+	return out
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -466,9 +662,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		NumShards:     s.sh.NumShards(),
 		Mutable:       s.sh.Mutable(),
 		Queries:       s.queries.Load(),
+		KNNQueries:    s.knn.Load(),
+		BatchShared:   s.batchShared.Load(),
+		BatchPerQuery: s.batchSplit.Load(),
 		Mutations:     s.mutations.Load(),
 		DistanceCalls: s.sh.DistanceCalls(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		Planner:       aggregatePlanStats(s.sh),
 		Shards:        s.sh.Stats(),
 	})
 }

@@ -28,7 +28,7 @@ func testServer(t *testing.T) (*server, []ranking.Ranking, []ranking.Ranking) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := shard.New(rs, 4, builderFor("coarse", 0.3))
+	sh, err := shard.New(rs, 4, builderFor("coarse", 0.3, "", 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,6 +116,8 @@ func TestSearchRejectsBadInput(t *testing.T) {
 		{"query": qs[0], "theta": 1.5},                                  // theta out of range
 		{"query": []uint32{1, 2}, "theta": 0.2},                         // wrong k
 		{"query": []uint32{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, "theta": 0.2}, // duplicate items
+		{"queries": []any{}, "theta": 0.2},                              // empty batch
+		{"queries": []any{}, "thetas": []float64{}},                     // empty batch with thetas
 	}
 	for i, c := range cases {
 		if rec := postSearch(t, h, c); rec.Code != http.StatusBadRequest {
@@ -299,7 +301,7 @@ func TestMutationRejectedOnImmutableKind(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := shard.New(rs, 2, builderFor("blocked", 0.3))
+	sh, err := shard.New(rs, 2, builderFor("blocked", 0.3, "", 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +344,7 @@ func TestSnapshotEndpointRoundTrip(t *testing.T) {
 		t.Fatalf("snapshot slots wrong: len=%d slot42=%v", len(slots), slots[42])
 	}
 
-	sh2, err := shard.New(slots, 2, builderFor("coarse", 0.3))
+	sh2, err := shard.New(slots, 2, builderFor("coarse", 0.3, "", 0))
 	if err != nil {
 		t.Fatalf("reload: %v", err)
 	}
@@ -394,7 +396,7 @@ func TestLoadCollectionSnapshotV2(t *testing.T) {
 	if !reflect.DeepEqual(got, slots) {
 		t.Fatal("v2 snapshot round-trip diverges")
 	}
-	sh, err := shard.New(got, 3, builderFor("inverted-drop", 0.3))
+	sh, err := shard.New(got, 3, builderFor("inverted-drop", 0.3, "", 0))
 	if err != nil {
 		t.Fatal(err)
 	}

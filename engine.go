@@ -1,0 +1,212 @@
+// The unified engine layer: every physical index structure in this package
+// is adapted onto the planner.Backend interface — one raw-threshold range
+// search drawing per-query scratch from the kind's pool — and the public
+// Search/NearestNeighbors/DistanceCalls contracts of all kinds run through
+// the two generic drivers below instead of per-kind copies of the same
+// lock/pool/evaluator/remap plumbing. The same adapters are what HybridIndex
+// routes across.
+package topk
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"topk/internal/adaptsearch"
+	"topk/internal/blocked"
+	"topk/internal/coarse"
+	"topk/internal/invindex"
+	"topk/internal/knn"
+	"topk/internal/metric"
+	"topk/internal/planner"
+	"topk/internal/ranking"
+)
+
+// searchBackend runs the public Search contract over a physical backend:
+// normalized-threshold conversion, pooled raw search, DFC accounting and
+// external-id remapping. ids may be nil for kinds whose internal ids are the
+// public ones. The caller holds whatever lock its kind requires.
+func searchBackend(b planner.Backend, ids *idmap, calls *atomic.Uint64, k int, q Ranking, theta float64) ([]Result, error) {
+	ev := metric.New(nil)
+	res, err := b.SearchRaw(q, ranking.RawThreshold(theta, k), ev)
+	calls.Add(ev.Calls())
+	if ids != nil {
+		ids.remapSearch(res)
+	}
+	return res, err
+}
+
+// clampRawTheta caps a raw threshold at dmax−1. The inverted-index family
+// draws candidates from posting lists, so rankings sharing no item with the
+// query — at distance exactly dmax — are invisible to it, while a metric
+// tree's range search would return them. Since a shared item strictly
+// lowers the Footrule below dmax, the ≤ dmax−1 ball is exactly what the
+// inverted kinds answer at θ = 1; querying every backend at the clamped
+// radius makes them byte-identical there (HybridIndex and the batch
+// processor rely on this).
+func clampRawTheta(raw, k int) int {
+	if dmax := ranking.MaxDistance(k); raw >= dmax {
+		return dmax - 1
+	}
+	return raw
+}
+
+// exactKNN is implemented by backends with a native exact KNN algorithm
+// that beats the generic expanding-radius reduction (the BK-tree's
+// best-first traversal).
+type exactKNN interface {
+	nearestRaw(q Ranking, n int, ev *metric.Evaluator) ([]Result, error)
+}
+
+// nearestBackend runs the public NearestNeighbors contract over a physical
+// backend: validation, the expanding-radius KNN reduction (or the backend's
+// native exact traversal), DFC accounting and external-id remapping.
+// liveIDs enumerates live internal ids for kinds with tombstone holes; nil
+// selects the dense 0..live-1 assumption. The caller holds whatever lock
+// its kind requires.
+func nearestBackend(b planner.Backend, ids *idmap, calls *atomic.Uint64, liveIDs func() []ranking.ID, live, k int, q Ranking, n int) ([]Result, error) {
+	if q.K() != k {
+		return nil, fmt.Errorf("topk: query size %d, index size %d: %w",
+			q.K(), k, ranking.ErrSizeMismatch)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	ev := metric.New(nil)
+	defer func() { calls.Add(ev.Calls()) }()
+	var res []Result
+	var err error
+	if e, ok := b.(exactKNN); ok {
+		res, err = e.nearestRaw(q, n, ev)
+	} else {
+		res, err = knn.Expanding(rangeAdapter{
+			query: func(q Ranking, raw int) ([]Result, error) { return b.SearchRaw(q, raw, ev) },
+			ids:   liveIDs,
+			n:     live, k: k,
+		}, q, n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ids != nil {
+		ids.remapNN(res)
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Backend adapters
+// ---------------------------------------------------------------------------
+
+// invBackend adapts a rank-augmented inverted index. Facades construct it
+// per call (under their lock) so compaction's index swap is always observed;
+// HybridIndex holds one over its immutable build.
+type invBackend struct {
+	idx  *invindex.Index
+	pool *invindex.Pool
+	alg  Algorithm
+}
+
+func (b invBackend) Name() string { return planner.BackendInverted }
+func (b invBackend) Len() int     { return b.idx.Live() }
+func (b invBackend) K() int       { return b.idx.K() }
+
+func (b invBackend) SearchRaw(q Ranking, rawTheta int, ev *metric.Evaluator) ([]Result, error) {
+	s := b.pool.Get()
+	defer b.pool.Put(s)
+	switch b.alg {
+	case FilterValidate:
+		return s.FilterValidate(q, rawTheta, ev)
+	case FilterValidateDrop:
+		return s.FilterValidateDrop(q, rawTheta, ev, invindex.DropSafe)
+	case ListMerge:
+		return s.ListMerge(q, rawTheta, ev)
+	default:
+		return nil, fmt.Errorf("topk: unknown algorithm %d", b.alg)
+	}
+}
+
+// coarseBackend adapts the paper's coarse index.
+type coarseBackend struct {
+	idx  *coarse.Index
+	pool *coarse.Pool
+	mode coarse.Mode
+}
+
+func (b coarseBackend) Name() string { return planner.BackendCoarse }
+func (b coarseBackend) Len() int     { return b.idx.Live() }
+func (b coarseBackend) K() int       { return b.idx.K() }
+
+func (b coarseBackend) SearchRaw(q Ranking, rawTheta int, ev *metric.Evaluator) ([]Result, error) {
+	s := b.pool.Get()
+	defer b.pool.Put(s)
+	return s.Query(q, rawTheta, ev, b.mode)
+}
+
+// blockedBackend adapts the blocked inverted index.
+type blockedBackend struct {
+	idx  *blocked.Index
+	pool *blocked.Pool
+	mode blocked.Mode
+}
+
+func (b blockedBackend) Name() string { return planner.BackendBlocked }
+func (b blockedBackend) Len() int     { return b.idx.Len() }
+func (b blockedBackend) K() int       { return b.idx.K() }
+
+func (b blockedBackend) SearchRaw(q Ranking, rawTheta int, ev *metric.Evaluator) ([]Result, error) {
+	s := b.pool.Get()
+	defer b.pool.Put(s)
+	return s.Query(q, rawTheta, ev, b.mode)
+}
+
+// treeBackend adapts a metric tree. The BK-tree kind additionally provides
+// the native best-first exact KNN traversal.
+type treeBackend struct{ t *MetricTree }
+
+func (b treeBackend) Name() string {
+	switch b.t.kind {
+	case MTree:
+		return "mtree"
+	case VPTree:
+		return "vptree"
+	default:
+		return planner.BackendBKTree
+	}
+}
+func (b treeBackend) Len() int { return len(b.t.rs) }
+func (b treeBackend) K() int   { return b.t.k }
+
+func (b treeBackend) SearchRaw(q Ranking, rawTheta int, ev *metric.Evaluator) ([]Result, error) {
+	if q.K() != b.t.k {
+		return nil, fmt.Errorf("topk: query size %d, index size %d: %w",
+			q.K(), b.t.k, ranking.ErrSizeMismatch)
+	}
+	return b.t.rawSearch(q, rawTheta, ev)
+}
+
+func (b treeBackend) nearestRaw(q Ranking, n int, ev *metric.Evaluator) ([]Result, error) {
+	if b.t.kind != BKTree {
+		// Expanding-radius reduction for the other tree kinds.
+		return knn.Expanding(rangeAdapter{
+			query: func(q Ranking, raw int) ([]Result, error) { return b.t.rawSearch(q, raw, ev) },
+			n:     len(b.t.rs), k: b.t.k,
+		}, q, n)
+	}
+	return knn.BestFirst(b.t.bk, q, n, ev), nil
+}
+
+// adaptBackend adapts the AdaptSearch delta inverted index.
+type adaptBackend struct {
+	idx  *adaptsearch.Index
+	pool *adaptsearch.Pool
+}
+
+func (b adaptBackend) Name() string { return planner.BackendAdaptSearch }
+func (b adaptBackend) Len() int     { return b.idx.Len() }
+func (b adaptBackend) K() int       { return b.idx.K() }
+
+func (b adaptBackend) SearchRaw(q Ranking, rawTheta int, ev *metric.Evaluator) ([]Result, error) {
+	s := b.pool.Get()
+	defer b.pool.Put(s)
+	return s.Query(q, rawTheta, ev)
+}

@@ -1,0 +1,392 @@
+// HybridIndex: the unified query engine of the package. It builds several
+// physical backends over one collection and routes every query to the one
+// the cost model predicts cheapest — the operational form of the paper's
+// "sweet spot" finding that neither inverted indices nor metric-space
+// indexing wins everywhere.
+package topk
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"topk/internal/adaptsearch"
+	"topk/internal/blocked"
+	"topk/internal/coarse"
+	"topk/internal/costmodel"
+	"topk/internal/invindex"
+	"topk/internal/metric"
+	"topk/internal/planner"
+	"topk/internal/ranking"
+	"topk/internal/stats"
+)
+
+// DefaultHybridBackends is the backend suite a HybridIndex builds when
+// WithHybridBackends is not given: the paper's main contenders, one per
+// regime of the evaluation.
+var DefaultHybridBackends = []string{
+	planner.BackendInverted,
+	planner.BackendBlocked,
+	planner.BackendCoarse,
+	planner.BackendBKTree,
+	planner.BackendAdaptSearch,
+}
+
+// defaultCalibrationThetas is the threshold grid Calibrate and the
+// construction-time calibration replay use: the paper's query range.
+var defaultCalibrationThetas = []float64{0.05, 0.1, 0.2, 0.3}
+
+// HybridIndex holds multiple physical index structures over the same
+// collection behind one query interface and routes each range or KNN query
+// to the backend the planner predicts cheapest for the query's threshold.
+// Routing decisions start from Section 5 cost-model priors and are refined
+// online by observed per-backend latency and distance calls; Force pins all
+// traffic to one backend, and Calibrate replays sample queries against every
+// backend to seed the observations.
+//
+// The collection is immutable: all backends are built once from one
+// external-id slot array (tombstoned slots stay retired), so every backend
+// returns byte-identical results and snapshots round-trip through Slots.
+// All methods are safe for concurrent use.
+type HybridIndex struct {
+	ids  idmap
+	live []Ranking // dense live rankings; every backend indexes exactly this
+	k    int
+
+	backends []planner.Backend
+	pl       *planner.Planner
+	calls    atomic.Uint64
+	thetaC   float64
+}
+
+// HybridOption configures NewHybridIndex.
+type HybridOption func(*hybridConfig)
+
+type hybridConfig struct {
+	backends  []string
+	forced    string
+	maxTheta  float64
+	calibrate int
+}
+
+// WithHybridBackends selects which physical backends to build (default
+// DefaultHybridBackends). Names are the canonical backend names; at least
+// one is required.
+func WithHybridBackends(names ...string) HybridOption {
+	return func(c *hybridConfig) { c.backends = names }
+}
+
+// WithForcedBackend pins all routing to one backend from construction on —
+// the escape hatch when the model must be taken out of the loop. The name
+// must be among the built backends; Force("") re-enables routing later.
+func WithForcedBackend(name string) HybridOption {
+	return func(c *hybridConfig) { c.forced = name }
+}
+
+// WithHybridMaxTheta sets the largest query threshold the application will
+// use (default 0.3). It is the cost model's operating point: the coarse
+// backend's θC is auto-tuned for it.
+func WithHybridMaxTheta(maxTheta float64) HybridOption {
+	return func(c *hybridConfig) { c.maxTheta = maxTheta }
+}
+
+// WithHybridCalibration replays n sample member rankings against every
+// backend across the default threshold grid at construction time, seeding
+// the planner's observed statistics with real measurements instead of model
+// priors alone. Costs n × backends × |grid| queries up front.
+func WithHybridCalibration(n int) HybridOption {
+	return func(c *hybridConfig) { c.calibrate = n }
+}
+
+// NewHybridIndex builds every configured backend over the collection.
+func NewHybridIndex(rankings []Ranking, opts ...HybridOption) (*HybridIndex, error) {
+	if _, err := validateCollection(rankings); err != nil {
+		return nil, err
+	}
+	return newHybridFromSlots(rankings, opts)
+}
+
+// NewHybridIndexFromSlots builds a hybrid index from an external-id slot
+// array as produced by (*HybridIndex).Slots or a persist snapshot v2: the
+// ranking at position i gets external ID i, and nil entries are tombstoned
+// IDs that stay retired. At least one slot must be live.
+func NewHybridIndexFromSlots(slots []Ranking, opts ...HybridOption) (*HybridIndex, error) {
+	if _, _, err := validateSlots(slots); err != nil {
+		return nil, err
+	}
+	return newHybridFromSlots(slots, opts)
+}
+
+func newHybridFromSlots(slots []Ranking, opts []HybridOption) (*HybridIndex, error) {
+	cfg := hybridConfig{backends: DefaultHybridBackends, maxTheta: 0.3}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(cfg.backends) == 0 {
+		return nil, fmt.Errorf("topk: hybrid needs at least one backend")
+	}
+	m, live := newSlotsIDMap(slots)
+	if len(live) == 0 {
+		return nil, fmt.Errorf("topk: hybrid needs at least one live ranking")
+	}
+	h := &HybridIndex{ids: m, live: live, k: live[0].K()}
+
+	// One cost model drives both the coarse backend's θC auto-tune and the
+	// planner priors. On collections too small to fit (no distance samples,
+	// degenerate frequencies) fall back to flat priors and the paper's
+	// default θC: the EWMA refinement takes over from the first query.
+	model := fitCostModel(live, h.k)
+	h.thetaC = 0.5
+	rawThetaC := ranking.RawThreshold(h.thetaC, h.k)
+	if model != nil {
+		rawThetaC = model.OptimalThetaC(
+			ranking.RawThreshold(cfg.maxTheta, h.k), costmodel.DefaultGrid(h.k))
+		h.thetaC = float64(rawThetaC) / float64(ranking.MaxDistance(h.k))
+	}
+
+	backends, err := buildHybridBackends(live, cfg.backends, rawThetaC)
+	if err != nil {
+		return nil, err
+	}
+	h.backends = backends
+
+	var priorCurves map[string][]float64
+	if model != nil {
+		priorCurves = planner.Priors(model, rawThetaC, planner.DefaultBuckets)
+	}
+	priors := make([][]float64, len(backends))
+	for i, b := range backends {
+		priors[i] = priorCurves[b.Name()] // nil for unknown names → flat
+	}
+	pl, err := planner.New(cfg.backends, priors, planner.Config{})
+	if err != nil {
+		return nil, err
+	}
+	h.pl = pl
+	if cfg.forced != "" {
+		if err := pl.Force(cfg.forced); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.calibrate > 0 {
+		if err := h.Calibrate(sampleQueries(live, cfg.calibrate), nil); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// fitCostModel fits the Section 5 model to the live collection; nil when
+// the collection is too small or degenerate for a fit.
+func fitCostModel(live []Ranking, k int) *costmodel.Model {
+	cdf := stats.SampleDistances(live, 20000, 1)
+	if cdf == nil || cdf.Len() == 0 {
+		return nil
+	}
+	freqs := stats.ItemFrequencies(live)
+	s, err := stats.FitZipfHead(freqs, 500)
+	if err != nil {
+		s = 0.8 // mildly skewed default; priors only need plausible shape
+	}
+	m, err := costmodel.New(len(live), k, len(freqs), s, cdf)
+	if err != nil {
+		return nil
+	}
+	m.Calibrate(1)
+	return m
+}
+
+// buildHybridBackends constructs the named physical structures over the
+// dense live collection, in parallel.
+func buildHybridBackends(live []Ranking, names []string, rawThetaC int) ([]planner.Backend, error) {
+	out := make([]planner.Backend, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			out[i], errs[i] = buildHybridBackend(live, name, rawThetaC)
+		}(i, name)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("topk: hybrid backend %q: %w", names[i], err)
+		}
+	}
+	return out, nil
+}
+
+func buildHybridBackend(live []Ranking, name string, rawThetaC int) (planner.Backend, error) {
+	switch name {
+	case planner.BackendInverted:
+		idx, err := invindex.New(live)
+		if err != nil {
+			return nil, err
+		}
+		return invBackend{idx: idx, pool: invindex.NewPool(idx), alg: FilterValidateDrop}, nil
+	case planner.BackendBlocked:
+		idx, err := blocked.New(live)
+		if err != nil {
+			return nil, err
+		}
+		return blockedBackend{idx: idx, pool: blocked.NewPool(idx), mode: blocked.Prune}, nil
+	case planner.BackendCoarse:
+		idx, err := coarse.New(live, rawThetaC, coarse.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return coarseBackend{idx: idx, pool: coarse.NewPool(idx), mode: coarse.FV}, nil
+	case planner.BackendBKTree:
+		t, err := NewMetricTree(live, BKTree)
+		if err != nil {
+			return nil, err
+		}
+		return t.backend(), nil
+	case planner.BackendAdaptSearch:
+		idx, err := adaptsearch.New(live)
+		if err != nil {
+			return nil, err
+		}
+		return adaptBackend{idx: idx, pool: adaptsearch.NewPool(idx)}, nil
+	default:
+		return nil, fmt.Errorf("unknown backend (have %v)", DefaultHybridBackends)
+	}
+}
+
+// sampleQueries draws n evenly spaced members of the live collection as
+// calibration queries (deterministic; member queries hit partitions and
+// posting lists the way production traffic does).
+func sampleQueries(live []Ranking, n int) []Ranking {
+	if n > len(live) {
+		n = len(live)
+	}
+	out := make([]Ranking, n)
+	for i := 0; i < n; i++ {
+		out[i] = live[i*len(live)/n]
+	}
+	return out
+}
+
+// Search implements Index: the planner picks the backend for the query's
+// threshold bucket, the query runs there, and the observed latency and
+// distance calls refine the bucket's estimate for that backend.
+func (h *HybridIndex) Search(q Ranking, theta float64) ([]Result, error) {
+	bucket := h.pl.Bucket(theta)
+	bi := h.pl.Choose(bucket)
+	ev := metric.New(nil)
+	start := time.Now()
+	// Clamped so the answer at θ = 1 is the same whichever backend the
+	// planner picks (metric trees would otherwise also see the
+	// zero-overlap rankings at distance exactly dmax).
+	res, err := h.backends[bi].SearchRaw(q, clampRawTheta(ranking.RawThreshold(theta, h.k), h.k), ev)
+	if err != nil {
+		return nil, err
+	}
+	h.pl.Observe(bi, bucket, float64(time.Since(start).Nanoseconds()), ev.Calls())
+	h.calls.Add(ev.Calls())
+	h.ids.remapSearch(res)
+	return res, nil
+}
+
+// NearestNeighbors implements NearestNeighborSearcher. KNN queries route
+// through the planner's smallest threshold bucket: the expanding-radius
+// reduction (and the BK-tree's best-first traversal) spends its work at
+// small radii, so the backend that wins tight range queries wins KNN.
+func (h *HybridIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
+	bi := h.pl.Choose(0)
+	return nearestBackend(h.backends[bi], &h.ids, &h.calls, nil, h.ids.live, h.k, q, n)
+}
+
+// Calibrate replays every query at every threshold against every backend
+// and feeds the measurements into the planner, overriding the model priors
+// with reality before production traffic arrives. A nil thetas uses the
+// default calibration grid. Results are discarded; distance calls count
+// toward DistanceCalls.
+func (h *HybridIndex) Calibrate(queries []Ranking, thetas []float64) error {
+	if thetas == nil {
+		thetas = defaultCalibrationThetas
+	}
+	for bi, b := range h.backends {
+		for _, theta := range thetas {
+			raw := clampRawTheta(ranking.RawThreshold(theta, h.k), h.k)
+			bucket := h.pl.Bucket(theta)
+			for _, q := range queries {
+				ev := metric.New(nil)
+				start := time.Now()
+				if _, err := b.SearchRaw(q, raw, ev); err != nil {
+					return fmt.Errorf("topk: calibrate %s: %w", b.Name(), err)
+				}
+				h.pl.Observe(bi, bucket, float64(time.Since(start).Nanoseconds()), ev.Calls())
+				h.calls.Add(ev.Calls())
+			}
+		}
+	}
+	return nil
+}
+
+// Force pins every subsequent query to the named backend — the escape
+// hatch when the planner must be taken out of the loop. An empty name
+// restores cost-based routing.
+func (h *HybridIndex) Force(name string) error { return h.pl.Force(name) }
+
+// Forced reports the pinned backend name, "" when routing is cost-based.
+func (h *HybridIndex) Forced() string { return h.pl.Forced() }
+
+// Backends returns the built backend names in routing order.
+func (h *HybridIndex) Backends() []string { return h.pl.Names() }
+
+// ThetaC reports the coarse backend's (auto-tuned) partitioning threshold.
+func (h *HybridIndex) ThetaC() float64 { return h.thetaC }
+
+// PlanStats is the per-backend routing scoreboard of a HybridIndex.
+type PlanStats struct {
+	// Backend is the backend name.
+	Backend string `json:"backend"`
+	// Plans counts queries the planner routed to the backend.
+	Plans uint64 `json:"plans"`
+	// Observations counts measured executions (plans plus calibration).
+	Observations uint64 `json:"observations"`
+	// EWMALatencyNanos is the observation-weighted mean of the backend's
+	// per-bucket latency EWMAs.
+	EWMALatencyNanos float64 `json:"ewmaLatencyNanos"`
+	// EWMADistanceCalls is the same aggregate over distance calls per query.
+	EWMADistanceCalls float64 `json:"ewmaDistanceCalls"`
+}
+
+// PlanStats snapshots how often each backend was chosen and what it cost
+// when it ran — the per-backend plan counters behind topkserve's GET /stats.
+func (h *HybridIndex) PlanStats() []PlanStats {
+	ps := h.pl.Stats()
+	out := make([]PlanStats, len(ps))
+	for i, s := range ps {
+		out[i] = PlanStats{
+			Backend:           s.Name,
+			Plans:             s.Plans,
+			Observations:      s.Observations,
+			EWMALatencyNanos:  s.EWMALatencyNanos,
+			EWMADistanceCalls: s.EWMADistanceCalls,
+		}
+	}
+	return out
+}
+
+// Len implements Index, counting live (non-tombstoned) rankings.
+func (h *HybridIndex) Len() int { return h.ids.live }
+
+// K implements Index.
+func (h *HybridIndex) K() int { return h.k }
+
+// DistanceCalls implements Index: Footrule evaluations across all backends,
+// including calibration replays.
+func (h *HybridIndex) DistanceCalls() uint64 { return h.calls.Load() }
+
+// Slots returns the external-id slot view of the collection: slots[id] is
+// the live ranking under id, nil for retired ids. Feed it to
+// persist.WriteCollection for a snapshot and to NewHybridIndexFromSlots to
+// restore with all ids preserved.
+func (h *HybridIndex) Slots() []Ranking {
+	return h.ids.slots(func(id ID) Ranking { return h.live[id] })
+}

@@ -1,0 +1,316 @@
+package topk
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"topk/internal/dataset"
+	"topk/internal/difftest"
+)
+
+var errMismatch = errors.New("concurrent search diverged from oracle")
+
+// hybridFor builds a hybrid index over the collection with a calibration
+// replay, failing the test on error.
+func hybridFor(t *testing.T, rs []Ranking, opts ...HybridOption) *HybridIndex {
+	t.Helper()
+	h, err := NewHybridIndex(rs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestHybridDifferential checks the acceptance contract of the engine: on
+// random workloads the hybrid's range results are byte-identical to the
+// linear-scan oracle — under cost-based routing and under every forced
+// backend — and to every individual public index kind.
+func TestHybridDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rs := difftest.RandomCollection(rng, 600, 10, 300)
+	o := difftest.NewOracle(rs)
+	h := hybridFor(t, rs, WithHybridCalibration(16))
+
+	difftest.CheckSearch(t, "hybrid(routed)", h, o, rng, 40, 300)
+	for _, name := range h.Backends() {
+		if err := h.Force(name); err != nil {
+			t.Fatal(err)
+		}
+		difftest.CheckSearch(t, "hybrid(forced="+name+")", h, o, rng, 15, 300)
+	}
+	if err := h.Force(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Force("no-such-backend"); err == nil {
+		t.Fatal("Force accepted an unknown backend")
+	}
+
+	// Cross-check against each standalone index kind.
+	queries := make([]Ranking, 25)
+	for i := range queries {
+		queries[i] = difftest.RandomRanking(rng, 10, 300)
+	}
+	inv, err := NewInvertedIndex(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := NewBlockedIndex(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crs, err := NewCoarseIndex(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, err := NewMetricTree(rs, BKTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ref := range map[string]difftest.Searcher{
+		"inverted": inv, "blocked": blk, "coarse": crs, "bktree": bk,
+	} {
+		difftest.CheckMatch(t, "hybrid vs "+name, h, ref, queries, difftest.Thetas)
+	}
+
+	// θ = 1: the raw threshold is clamped to dmax−1, so every backend must
+	// return the same answer — the ball posting lists can see — no matter
+	// where the planner routes (metric trees would otherwise also surface
+	// the zero-overlap rankings at distance exactly dmax).
+	for _, q := range queries[:8] {
+		var base []Result
+		for i, name := range h.Backends() {
+			if err := h.Force(name); err != nil {
+				t.Fatal(err)
+			}
+			res, err := h.Search(q, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				base = res
+				continue
+			}
+			if !difftest.Equal(res, base) {
+				t.Fatalf("θ=1 answers diverge: %s returned %d results, %s returned %d",
+					name, len(res), h.Backends()[0], len(base))
+			}
+		}
+	}
+	if err := h.Force(""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteNNSlots is the KNN oracle over a slot array: live slots ranked by
+// (distance, id).
+func bruteNNSlots(slots []Ranking, q Ranking, n int) []Result {
+	var all []Result
+	for id, r := range slots {
+		if r == nil {
+			continue
+		}
+		all = append(all, Result{ID: ID(id), Dist: Distance(q, r)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// TestHybridKNN checks NearestNeighbors byte-identically against the brute
+// oracle, routed and per forced backend (covering both the BK-tree
+// best-first traversal and the expanding-radius reduction).
+func TestHybridKNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rs := difftest.RandomCollection(rng, 300, 8, 200)
+	h := hybridFor(t, rs)
+	modes := append([]string{""}, h.Backends()...)
+	for _, name := range modes {
+		if err := h.Force(name); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			q := difftest.RandomRanking(rng, 8, 200)
+			for _, n := range []int{1, 3, 10, 500} {
+				got, err := h.NearestNeighbors(q, n)
+				if err != nil {
+					t.Fatalf("forced=%q: %v", name, err)
+				}
+				want := bruteNNSlots(rs, q, n)
+				if !difftest.Equal(got, want) {
+					t.Fatalf("forced=%q n=%d:\n got %v\nwant %v", name, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestHybridFromSlots builds the hybrid from a tombstoned slot array and
+// checks searches, KNN and the Slots round-trip preserve external ids.
+func TestHybridFromSlots(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rs := difftest.RandomCollection(rng, 400, 10, 250)
+	o := difftest.NewOracle(rs)
+	// Retire a third of the ids.
+	for _, id := range o.LiveIDs() {
+		if rng.Intn(3) == 0 && o.Len() > 1 {
+			if err := o.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	slots := o.Slots()
+	h, err := NewHybridIndexFromSlots(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != o.Len() {
+		t.Fatalf("Len=%d, oracle %d", h.Len(), o.Len())
+	}
+	difftest.CheckSearch(t, "hybrid(slots)", h, o, rng, 30, 250)
+	for trial := 0; trial < 10; trial++ {
+		q := difftest.RandomRanking(rng, 10, 250)
+		got, err := h.NearestNeighbors(q, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteNNSlots(slots, q, 7); !difftest.Equal(got, want) {
+			t.Fatalf("knn over slots:\n got %v\nwant %v", got, want)
+		}
+	}
+
+	// Slots round-trip: rebuild from the snapshot view, ids preserved.
+	h2, err := NewHybridIndexFromSlots(h.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	difftest.CheckSearch(t, "hybrid(slots round-trip)", h2, o, rng, 15, 250)
+
+	// All-tombstone and empty slot arrays are rejected.
+	if _, err := NewHybridIndexFromSlots(make([]Ranking, 5)); err == nil {
+		t.Fatal("all-tombstone slot array accepted")
+	}
+	if _, err := NewHybridIndex(nil); err == nil {
+		t.Fatal("empty collection accepted")
+	}
+}
+
+// TestHybridPlannerSwitches runs a θ sweep over a Zipf-generated collection
+// and checks the planner actually uses different backends in different
+// radius regimes — the "sweet spot" behaviour the engine exists for.
+func TestHybridPlannerSwitches(t *testing.T) {
+	rs, err := dataset.Generate(dataset.NYTLike(1500, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hybridFor(t, rs, WithHybridCalibration(24))
+	qs, err := dataset.Workload(rs, dataset.NYTLike(1500, 10), 30, 0.8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5} {
+		for _, q := range qs {
+			if _, err := h.Search(q, theta); err != nil {
+				t.Fatalf("θ=%.2f: %v", theta, err)
+			}
+		}
+	}
+	distinct := 0
+	total := uint64(0)
+	for _, st := range h.PlanStats() {
+		if st.Plans > 0 {
+			distinct++
+		}
+		total += st.Plans
+	}
+	if want := uint64(9 * len(qs)); total != want {
+		t.Fatalf("plan counters sum to %d, want %d", total, want)
+	}
+	if distinct < 2 {
+		t.Fatalf("theta sweep used %d distinct backends, want >= 2: %+v", distinct, h.PlanStats())
+	}
+}
+
+// TestHybridSubsetAndOptions covers backend subsetting, the forced-backend
+// construction option and option validation.
+func TestHybridSubsetAndOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	rs := difftest.RandomCollection(rng, 200, 8, 150)
+	o := difftest.NewOracle(rs)
+
+	h, err := NewHybridIndex(rs, WithHybridBackends("inverted", "bktree"), WithForcedBackend("bktree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Backends(); len(got) != 2 || got[0] != "inverted" || got[1] != "bktree" {
+		t.Fatalf("Backends = %v", got)
+	}
+	if h.Forced() != "bktree" {
+		t.Fatalf("Forced = %q", h.Forced())
+	}
+	difftest.CheckSearch(t, "hybrid(subset)", h, o, rng, 15, 150)
+	st := h.PlanStats()
+	if st[0].Plans != 0 || st[1].Plans == 0 {
+		t.Fatalf("forced routing not reflected in plan stats: %+v", st)
+	}
+
+	if _, err := NewHybridIndex(rs, WithHybridBackends("warp-drive")); err == nil {
+		t.Fatal("unknown backend name accepted")
+	}
+	if _, err := NewHybridIndex(rs, WithForcedBackend("coarse"), WithHybridBackends("inverted")); err == nil {
+		t.Fatal("forcing an unbuilt backend accepted")
+	}
+	if _, err := NewHybridIndex(rs, WithHybridBackends()); err == nil {
+		t.Fatal("empty backend list accepted")
+	}
+}
+
+// TestHybridConcurrent hammers one hybrid index from many goroutines,
+// mixing routed searches, forced-backend flips and KNN — run with -race.
+func TestHybridConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	rs := difftest.RandomCollection(rng, 300, 8, 200)
+	o := difftest.NewOracle(rs)
+	h := hybridFor(t, rs)
+	const goroutines = 8
+	done := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				q := difftest.RandomRanking(rng, 8, 200)
+				theta := difftest.Thetas[rng.Intn(len(difftest.Thetas))]
+				got, err := h.Search(q, theta)
+				if err != nil {
+					done <- err
+					return
+				}
+				want, _ := o.Search(q, theta)
+				if !difftest.Equal(got, want) {
+					done <- errMismatch
+					return
+				}
+				if i%10 == 0 {
+					if _, err := h.NearestNeighbors(q, 3); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- nil
+		}(int64(g))
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

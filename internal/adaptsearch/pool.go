@@ -1,0 +1,29 @@
+package adaptsearch
+
+import "sync"
+
+// Pool hands out Searchers for concurrent queries against one Index. A
+// Searcher's scratch state (stamp and count arrays, candidate buffer) is
+// reused across queries; the pool lets any number of goroutines share one
+// index without serializing behind a mutex and without paying a fresh O(n)
+// allocation per query.
+type Pool struct {
+	idx *Index
+	p   sync.Pool
+}
+
+// NewPool creates a searcher pool bound to idx.
+func NewPool(idx *Index) *Pool {
+	p := &Pool{idx: idx}
+	p.p.New = func() any { return NewSearcher(idx) }
+	return p
+}
+
+// Index returns the underlying index.
+func (p *Pool) Index() *Index { return p.idx }
+
+// Get returns a searcher ready for one query; return it with Put.
+func (p *Pool) Get() *Searcher { return p.p.Get().(*Searcher) }
+
+// Put returns a searcher to the pool.
+func (p *Pool) Put(s *Searcher) { p.p.Put(s) }

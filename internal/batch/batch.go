@@ -40,7 +40,15 @@ type Processor struct {
 
 // NewProcessor creates a batch processor for the collection behind idx.
 func NewProcessor(idx *invindex.Index) *Processor {
-	return &Processor{idx: idx, s: invindex.NewSearcher(idx), k: idx.K()}
+	return NewProcessorWith(idx, invindex.NewSearcher(idx))
+}
+
+// NewProcessorWith creates a batch processor reusing a caller-provided
+// searcher bound to idx (e.g. drawn from an invindex.Pool), avoiding the
+// O(n) scratch allocation of a fresh searcher. The processor owns the
+// searcher for its lifetime; one processor serves one batch at a time.
+func NewProcessorWith(idx *invindex.Index, s *invindex.Searcher) *Processor {
+	return &Processor{idx: idx, s: s, k: idx.K()}
 }
 
 // Process answers every query of the batch at raw threshold rawTheta,
@@ -85,8 +93,12 @@ func (p *Processor) Process(queries []ranking.Ranking, rawTheta, batchRadius int
 		var cands []ranking.Result
 		if relaxed >= dmax {
 			// Degenerate: the relaxed ball covers disjoint rankings the
-			// inverted index cannot see; scan instead.
+			// inverted index cannot see; scan instead (skipping tombstones,
+			// which FilterValidate would have filtered).
 			for id, r := range p.idx.Rankings() {
+				if p.idx.Deleted(ranking.ID(id)) {
+					continue
+				}
 				if d := ev.Distance(medoid, r); d <= relaxed {
 					cands = append(cands, ranking.Result{ID: ranking.ID(id), Dist: d})
 				}

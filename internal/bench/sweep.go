@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"topk"
+)
+
+// Record is one machine-readable measurement of the benchmark sweep: one
+// (dataset, backend, θ) cell of the perf trajectory that topkbench -json
+// writes, so successive PRs can diff BENCH_*.json files instead of parsing
+// tables.
+type Record struct {
+	Dataset       string  `json:"dataset"`
+	Backend       string  `json:"backend"`
+	N             int     `json:"n"`
+	K             int     `json:"k"`
+	Theta         float64 `json:"theta"`
+	Queries       int     `json:"queries"`
+	Results       int     `json:"results"`
+	DistanceCalls uint64  `json:"distanceCalls"`
+	NsPerOp       int64   `json:"nsPerOp"`
+	// Plans breaks a hybrid run down by chosen backend (plan-counter deltas
+	// for this θ); empty for the physical backends.
+	Plans map[string]uint64 `json:"plans,omitempty"`
+}
+
+// SweepAlgorithms is the backend suite the sweep measures: every Figure 8/9
+// competitor (minus the per-workload Minimal F&V oracle) plus the metric
+// trees.
+var SweepAlgorithms = []Algorithm{
+	AlgFV, AlgListMerge, AlgAdaptSearch,
+	AlgCoarse, AlgCoarseDrop,
+	AlgBlockedPrune, AlgBlockedPruneDrop, AlgFVDrop,
+	AlgBKTree, AlgMTree,
+}
+
+// Sweep runs the environment's query workload through every physical
+// backend and through the hybrid engine at each threshold, and returns one
+// Record per (backend, θ) cell.
+func Sweep(env *Env, thetas []float64) ([]Record, error) {
+	opts := DefaultSuiteOptions()
+	opts.SkipMinimal = true
+	suite, err := BuildSuite(env, opts)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, alg := range SweepAlgorithms {
+		for _, theta := range thetas {
+			m, err := suite.RunWorkload(alg, theta)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %s θ=%.2f: %w", alg, theta, err)
+			}
+			out = append(out, Record{
+				Dataset:       env.Name,
+				Backend:       string(alg),
+				N:             len(env.Rankings),
+				K:             env.Cfg.K,
+				Theta:         theta,
+				Queries:       len(env.Queries),
+				Results:       m.Results,
+				DistanceCalls: m.DFC,
+				NsPerOp:       perOp(m.Time, len(env.Queries)),
+			})
+		}
+	}
+	hybrid, err := sweepHybrid(env, thetas)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, hybrid...), nil
+}
+
+// sweepHybrid measures the hybrid engine itself: the same workload per θ,
+// with the planner routing (after a calibration replay) and the plan-counter
+// deltas recorded per threshold.
+func sweepHybrid(env *Env, thetas []float64) ([]Record, error) {
+	h, err := topk.NewHybridIndex(env.Rankings, topk.WithHybridCalibration(32))
+	if err != nil {
+		return nil, fmt.Errorf("sweep: hybrid build: %w", err)
+	}
+	var out []Record
+	prev := planCounts(h)
+	for _, theta := range thetas {
+		results := 0
+		callsBefore := h.DistanceCalls()
+		start := time.Now()
+		for _, q := range env.Queries {
+			res, err := h.Search(q, theta)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: hybrid θ=%.2f: %w", theta, err)
+			}
+			results += len(res)
+		}
+		elapsed := time.Since(start)
+		cur := planCounts(h)
+		out = append(out, Record{
+			Dataset:       env.Name,
+			Backend:       "hybrid",
+			N:             len(env.Rankings),
+			K:             env.Cfg.K,
+			Theta:         theta,
+			Queries:       len(env.Queries),
+			Results:       results,
+			DistanceCalls: h.DistanceCalls() - callsBefore,
+			NsPerOp:       perOp(elapsed, len(env.Queries)),
+			Plans:         diffCounts(prev, cur),
+		})
+		prev = cur
+	}
+	return out, nil
+}
+
+func planCounts(h *topk.HybridIndex) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, st := range h.PlanStats() {
+		out[st.Backend] = st.Plans
+	}
+	return out
+}
+
+func diffCounts(prev, cur map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64)
+	for name, c := range cur {
+		if d := c - prev[name]; d > 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+func perOp(d time.Duration, ops int) int64 {
+	if ops == 0 {
+		return 0
+	}
+	return d.Nanoseconds() / int64(ops)
+}
+
+// SweepTable renders sweep records as the usual experiment table.
+func SweepTable(recs []Record) Table {
+	t := Table{
+		Title:   "Benchmark sweep (per-query cost by backend and θ)",
+		Columns: []string{"dataset", "backend", "θ", "results", "DFC", "ns/op", "plans"},
+	}
+	for _, r := range recs {
+		plans := ""
+		for name, c := range r.Plans {
+			if plans != "" {
+				plans += " "
+			}
+			plans += fmt.Sprintf("%s:%d", name, c)
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Dataset, r.Backend, fmt.Sprintf("%.2f", r.Theta),
+			fmt.Sprint(r.Results), fmt.Sprint(r.DistanceCalls),
+			fmt.Sprint(r.NsPerOp), plans,
+		})
+	}
+	return t
+}
+
+// WriteJSON writes sweep records as indented JSON — the BENCH_*.json
+// trajectory format.
+func WriteJSON(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}

@@ -1,0 +1,422 @@
+// Package planner implements the query router of the hybrid engine: given
+// several physical backends answering the same exact range query, it picks
+// the one predicted to be cheapest for the query's threshold.
+//
+// The paper's central observation is that no single structure wins
+// everywhere — inverted indices, blocked indices, the coarse hybrid, metric
+// trees and prefix filters each have a regime (Figures 8/9) governed by the
+// query radius, the data's Zipf skew and its distance distribution. The
+// planner operationalizes that: the Section 5 cost model provides per-backend
+// *prior* cost curves over a grid of threshold buckets, and every executed
+// query refines the bucket's estimate with an exponentially weighted moving
+// average of observed latency (and distance calls, the paper's DFC measure).
+// Routing is the argmin of the blended estimate; a deterministic exploration
+// schedule keeps every backend's statistics fresh, a forced-backend escape
+// hatch bypasses the model entirely, and a calibration mode replays sample
+// queries against all backends to seed the observations before serving.
+package planner
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"topk/internal/costmodel"
+	"topk/internal/metric"
+	"topk/internal/ranking"
+)
+
+// Backend is one physical index structure inside a hybrid engine. Every
+// index kind of package topk adapts to it: an exact raw-threshold range
+// search drawing per-query scratch from the kind's pool, with Footrule
+// evaluations counted on ev.
+type Backend interface {
+	// Name identifies the backend in plans, stats and the forced-backend
+	// escape hatch (e.g. "inverted", "coarse", "bktree").
+	Name() string
+	// SearchRaw answers the exact range query (q, rawTheta) over the
+	// backend's internal id space, sorted by id. ev must count every
+	// distance evaluation the query performs; a nil ev is allowed.
+	SearchRaw(q ranking.Ranking, rawTheta int, ev *metric.Evaluator) ([]ranking.Result, error)
+	// Len returns the number of indexed rankings.
+	Len() int
+	// K returns the ranking size.
+	K() int
+}
+
+// Canonical backend names of the hybrid engine. Priors knows how to derive
+// cost curves for exactly these.
+const (
+	BackendInverted    = "inverted"
+	BackendBlocked     = "blocked"
+	BackendCoarse      = "coarse"
+	BackendBKTree      = "bktree"
+	BackendAdaptSearch = "adaptsearch"
+)
+
+// DefaultBuckets is the number of threshold buckets the planner keeps
+// statistics for: normalized θ ∈ [0,1] is discretized into equal-width
+// buckets, matching the granularity of the paper's theta grids.
+const DefaultBuckets = 16
+
+// Config tunes a Planner.
+type Config struct {
+	// Buckets is the number of equal-width θ buckets (default DefaultBuckets).
+	Buckets int
+	// Alpha is the EWMA weight of a new observation (default 0.2).
+	Alpha float64
+	// PriorWeight is how many observations the model prior counts as when
+	// blending with the EWMA (≤ 0 selects the default 4). Higher values
+	// trust the cost model longer; to trust observations almost immediately
+	// use a small positive value (the zero value cannot mean "no prior"
+	// because Config{} must select the default).
+	PriorWeight float64
+	// ExploreEvery routes every N-th query of a bucket to that bucket's
+	// least-observed backend instead of the predicted-cheapest, keeping all
+	// estimates fresh (default 64; 0 disables exploration).
+	ExploreEvery int
+}
+
+func (c *Config) fill() {
+	if c.Buckets <= 0 {
+		c.Buckets = DefaultBuckets
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.2
+	}
+	if c.PriorWeight <= 0 {
+		c.PriorWeight = 4
+	}
+	if c.ExploreEvery < 0 {
+		c.ExploreEvery = 0
+	}
+}
+
+// cell is the per-(backend, bucket) statistic: an EWMA of observed query
+// latency and distance calls, plus the observation count.
+type cell struct {
+	ewmaNanos float64
+	ewmaDFC   float64
+	count     uint64
+}
+
+// Planner routes queries across backends by predicted cost.
+type Planner struct {
+	names  []string
+	cfg    Config
+	priors [][]float64 // [backend][bucket] prior nanoseconds
+
+	mu    sync.Mutex
+	cells [][]cell // [backend][bucket]
+	seq   []uint64 // per-bucket query counter driving exploration
+
+	forced atomic.Int32    // forced backend index, -1 = model-driven
+	plans  []atomic.Uint64 // queries routed per backend (range + KNN)
+}
+
+// New creates a planner over the named backends. priors[b][bucket] is the
+// modeled cost (nanoseconds) of backend b at the bucket's threshold; pass
+// nil for flat (indifferent) priors. len(priors) must match len(names) when
+// non-nil.
+func New(names []string, priors [][]float64, cfg Config) (*Planner, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("planner: no backends")
+	}
+	cfg.fill()
+	if priors == nil {
+		priors = make([][]float64, len(names))
+	}
+	if len(priors) != len(names) {
+		return nil, fmt.Errorf("planner: %d prior curves for %d backends", len(priors), len(names))
+	}
+	p := &Planner{
+		names:  names,
+		cfg:    cfg,
+		priors: make([][]float64, len(names)),
+		cells:  make([][]cell, len(names)),
+		seq:    make([]uint64, cfg.Buckets),
+		plans:  make([]atomic.Uint64, len(names)),
+	}
+	for b := range names {
+		p.cells[b] = make([]cell, cfg.Buckets)
+		p.priors[b] = make([]float64, cfg.Buckets)
+		for i := range p.priors[b] {
+			if b < len(priors) && priors[b] != nil {
+				// Clamp the supplied curve onto the bucket grid; a short
+				// curve repeats its last point.
+				j := i
+				if j >= len(priors[b]) {
+					j = len(priors[b]) - 1
+				}
+				p.priors[b][i] = priors[b][j]
+			} else {
+				p.priors[b][i] = 1 // flat, tie-broken by backend order
+			}
+		}
+	}
+	p.forced.Store(-1)
+	return p, nil
+}
+
+// Buckets returns the number of threshold buckets.
+func (p *Planner) Buckets() int { return p.cfg.Buckets }
+
+// Bucket maps a normalized threshold θ ∈ [0,1] onto a bucket index.
+func (p *Planner) Bucket(theta float64) int {
+	if theta <= 0 {
+		return 0
+	}
+	if theta >= 1 {
+		return p.cfg.Buckets - 1
+	}
+	return int(theta * float64(p.cfg.Buckets))
+}
+
+// Names returns the backend names in routing order.
+func (p *Planner) Names() []string { return p.names }
+
+// index resolves a backend name.
+func (p *Planner) index(name string) (int, error) {
+	for i, n := range p.names {
+		if n == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("planner: unknown backend %q (have %v)", name, p.names)
+}
+
+// Force pins all routing to one backend; an empty name returns to
+// model-driven routing.
+func (p *Planner) Force(name string) error {
+	if name == "" {
+		p.forced.Store(-1)
+		return nil
+	}
+	i, err := p.index(name)
+	if err != nil {
+		return err
+	}
+	p.forced.Store(int32(i))
+	return nil
+}
+
+// Forced reports the forced backend name, "" when routing is model-driven.
+func (p *Planner) Forced() string {
+	if f := p.forced.Load(); f >= 0 {
+		return p.names[f]
+	}
+	return ""
+}
+
+// estimate blends the prior with the observed EWMA: the prior counts as
+// PriorWeight observations, so fresh cells follow the cost model and
+// well-observed cells follow reality.
+func (p *Planner) estimate(b, bucket int) float64 {
+	c := p.cells[b][bucket]
+	if c.count == 0 {
+		return p.priors[b][bucket]
+	}
+	w := p.cfg.PriorWeight
+	return (w*p.priors[b][bucket] + float64(c.count)*c.ewmaNanos) / (w + float64(c.count))
+}
+
+// Choose picks the backend for a query in the given θ bucket and counts the
+// plan. Exploration: every ExploreEvery-th query of a bucket routes to the
+// bucket's least-observed backend, so EWMAs of losing backends cannot go
+// permanently stale.
+func (p *Planner) Choose(bucket int) int {
+	if f := p.forced.Load(); f >= 0 {
+		p.plans[f].Add(1)
+		return int(f)
+	}
+	if bucket < 0 {
+		bucket = 0
+	} else if bucket >= p.cfg.Buckets {
+		bucket = p.cfg.Buckets - 1
+	}
+	p.mu.Lock()
+	p.seq[bucket]++
+	best := 0
+	if p.cfg.ExploreEvery > 0 && p.seq[bucket]%uint64(p.cfg.ExploreEvery) == 0 {
+		for b := 1; b < len(p.names); b++ {
+			if p.cells[b][bucket].count < p.cells[best][bucket].count {
+				best = b
+			}
+		}
+	} else {
+		bestCost := p.estimate(0, bucket)
+		for b := 1; b < len(p.names); b++ {
+			if c := p.estimate(b, bucket); c < bestCost {
+				best, bestCost = b, c
+			}
+		}
+	}
+	p.mu.Unlock()
+	p.plans[best].Add(1)
+	return best
+}
+
+// Observe feeds one executed query back into the model: latency in
+// nanoseconds and the distance calls it performed.
+func (p *Planner) Observe(b, bucket int, nanos float64, dfc uint64) {
+	if b < 0 || b >= len(p.names) {
+		return
+	}
+	if bucket < 0 {
+		bucket = 0
+	} else if bucket >= p.cfg.Buckets {
+		bucket = p.cfg.Buckets - 1
+	}
+	p.mu.Lock()
+	c := &p.cells[b][bucket]
+	if c.count == 0 {
+		c.ewmaNanos = nanos
+		c.ewmaDFC = float64(dfc)
+	} else {
+		c.ewmaNanos += p.cfg.Alpha * (nanos - c.ewmaNanos)
+		c.ewmaDFC += p.cfg.Alpha * (float64(dfc) - c.ewmaDFC)
+	}
+	c.count++
+	p.mu.Unlock()
+}
+
+// BackendStats is the observable state of one backend: how often the
+// planner picked it and what it cost when it ran.
+type BackendStats struct {
+	Name string `json:"name"`
+	// Plans counts queries routed to the backend since construction.
+	Plans uint64 `json:"plans"`
+	// Observations counts Observe calls (≥ Plans only during calibration,
+	// which observes without planning).
+	Observations uint64 `json:"observations"`
+	// EWMALatencyNanos is the observation-weighted mean of the per-bucket
+	// latency EWMAs, 0 before the first observation.
+	EWMALatencyNanos float64 `json:"ewmaLatencyNanos"`
+	// EWMADistanceCalls is the observation-weighted mean of the per-bucket
+	// DFC EWMAs.
+	EWMADistanceCalls float64 `json:"ewmaDistanceCalls"`
+}
+
+// Stats snapshots every backend's plan counter and blended observations.
+func (p *Planner) Stats() []BackendStats {
+	out := make([]BackendStats, len(p.names))
+	p.mu.Lock()
+	for b, name := range p.names {
+		st := BackendStats{Name: name, Plans: p.plans[b].Load()}
+		var wNanos, wDFC float64
+		for _, c := range p.cells[b] {
+			st.Observations += c.count
+			wNanos += float64(c.count) * c.ewmaNanos
+			wDFC += float64(c.count) * c.ewmaDFC
+		}
+		if st.Observations > 0 {
+			st.EWMALatencyNanos = wNanos / float64(st.Observations)
+			st.EWMADistanceCalls = wDFC / float64(st.Observations)
+		}
+		out[b] = st
+	}
+	p.mu.Unlock()
+	return out
+}
+
+// PlannedBackends reports how many distinct backends have a nonzero plan
+// counter — the headline number of the "sweet spot" claim: >1 means the
+// model actually switched structures across the workload.
+func (p *Planner) PlannedBackends() int {
+	n := 0
+	for b := range p.plans {
+		if p.plans[b].Load() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model priors
+// ---------------------------------------------------------------------------
+
+// Priors derives per-bucket prior cost curves (nanoseconds per query) for
+// the canonical backends from the Section 5 cost model. The formulas reuse
+// the model's calibrated micro-costs and its two data statistics — the
+// pairwise-distance CDF and the Zipf skew — and are deliberately coarse:
+// they only have to rank the backends plausibly per bucket; the EWMA
+// refinement converges on the truth. The modeled shapes follow the paper's
+// measurements:
+//
+//   - inverted (F&V+Drop): reads the k−ω+1 shortest lists and validates
+//     every candidate; cost grows stepwise as the Lemma 2 overlap bound ω
+//     loosens with θ, and is otherwise radius-insensitive (Figure 8's flat
+//     tail).
+//   - blocked (Blocked+Prune): same filtering volume, but the NRA bounds
+//     accept/reject most candidates without a distance call at small θ, so
+//     validation ramps up with P[X ≤ 2θ] (cheapest small-θ inverted
+//     variant, Figure 8 left).
+//   - coarse: the model's own Evaluate(θ, θC) — medoid filtering plus
+//     partition validation of n·P[X ≤ θ+θC] candidates.
+//   - bktree: triangle pruning degrades quickly with the radius; the
+//     visited fraction is modeled as P[X ≤ θ + d10] with d10 the 10th
+//     percentile of pairwise distances (at θ=0 a dense cluster of the tree
+//     is still entered; by mid radii nearly all nodes are).
+//   - adaptsearch: the ℓ-prefix scheme scans p = k−ω+1 of the k positional
+//     delta lists per query item: ~p² short lists plus verification of the
+//     candidates that survive the prefix count.
+func Priors(m *costmodel.Model, thetaCRaw, buckets int) map[string][]float64 {
+	if buckets <= 0 {
+		buckets = DefaultBuckets
+	}
+	k := m.K
+	n := float64(m.N)
+	dmax := ranking.MaxDistance(k)
+	// Expected probed-list length with the whole collection indexed
+	// (medoids = n): the inverted-index side of every formula.
+	listLen := m.ExpectedListLength(n)
+	// d10: the 10th percentile of the pairwise-distance CDF.
+	d10 := 0
+	for d := 0; d <= dmax; d++ {
+		if m.CDF(d) >= 0.1 {
+			d10 = d
+			break
+		}
+	}
+	out := map[string][]float64{
+		BackendInverted:    make([]float64, buckets),
+		BackendBlocked:     make([]float64, buckets),
+		BackendCoarse:      make([]float64, buckets),
+		BackendBKTree:      make([]float64, buckets),
+		BackendAdaptSearch: make([]float64, buckets),
+	}
+	for i := 0; i < buckets; i++ {
+		// Bucket midpoint in normalized θ, then raw.
+		theta := (float64(i) + 0.5) / float64(buckets)
+		raw := int(theta * float64(dmax))
+		omega := ranking.RequiredOverlap(raw, k)
+		if omega < 1 {
+			omega = 1
+		}
+		kept := float64(k - omega + 1)
+
+		cands := kept * listLen // union bound on distinct candidates
+		out[BackendInverted][i] = m.CostMergeBase*kept +
+			cands*m.CostMergePerPosting + cands*m.CostFootrule
+
+		ramp := m.CDF(2 * raw) // fraction of candidates surviving NRA bounds
+		out[BackendBlocked][i] = m.CostMergeBase*kept +
+			1.3*cands*m.CostMergePerPosting + // block bookkeeping overhead
+			(0.02+0.98*ramp)*cands*m.CostFootrule
+
+		out[BackendCoarse][i] = m.Evaluate(raw, thetaCRaw).Overall()
+
+		visited := math.Min(1, 0.005+m.CDF(raw+d10))
+		out[BackendBKTree][i] = m.CostMergeBase + visited*n*m.CostFootrule
+
+		// p² positional lists of expected length listLen/k each, then
+		// verification of the candidates that reach the prefix count
+		// (modeled as half the collected ids).
+		scans := kept * kept * (listLen / float64(k))
+		out[BackendAdaptSearch][i] = m.CostMergeBase*kept +
+			scans*m.CostMergePerPosting + 0.5*scans*m.CostFootrule
+	}
+	return out
+}

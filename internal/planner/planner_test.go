@@ -1,0 +1,183 @@
+package planner
+
+import (
+	"testing"
+
+	"topk/internal/costmodel"
+	"topk/internal/difftest"
+	"topk/internal/ranking"
+	"topk/internal/stats"
+
+	"math/rand"
+)
+
+// twoBackendPlanner builds a planner where "low" is cheap in the bottom
+// half of the theta range and "high" in the top half.
+func twoBackendPlanner(t *testing.T, cfg Config) *Planner {
+	t.Helper()
+	cfg.Buckets = 8
+	low := make([]float64, cfg.Buckets)
+	high := make([]float64, cfg.Buckets)
+	for i := range low {
+		if i < cfg.Buckets/2 {
+			low[i], high[i] = 10, 100
+		} else {
+			low[i], high[i] = 100, 10
+		}
+	}
+	p, err := New([]string{"low", "high"}, [][]float64{low, high}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBucketMapping(t *testing.T) {
+	p := twoBackendPlanner(t, Config{})
+	cases := []struct {
+		theta float64
+		want  int
+	}{
+		{-1, 0}, {0, 0}, {0.05, 0}, {0.13, 1}, {0.5, 4}, {0.99, 7}, {1, 7}, {2, 7},
+	}
+	for _, c := range cases {
+		if got := p.Bucket(c.theta); got != c.want {
+			t.Errorf("Bucket(%v) = %d, want %d", c.theta, got, c.want)
+		}
+	}
+}
+
+func TestChooseFollowsPriors(t *testing.T) {
+	p := twoBackendPlanner(t, Config{ExploreEvery: 0})
+	if got := p.Choose(0); p.names[got] != "low" {
+		t.Fatalf("bucket 0 routed to %q, want low", p.names[got])
+	}
+	if got := p.Choose(7); p.names[got] != "high" {
+		t.Fatalf("bucket 7 routed to %q, want high", p.names[got])
+	}
+	if n := p.PlannedBackends(); n != 2 {
+		t.Fatalf("PlannedBackends = %d, want 2", n)
+	}
+}
+
+func TestObservationsOverridePrior(t *testing.T) {
+	p := twoBackendPlanner(t, Config{ExploreEvery: 0, PriorWeight: 2})
+	// "low" is the prior favourite of bucket 0, but reality disagrees: feed
+	// slow observations for low, fast ones for high.
+	for i := 0; i < 50; i++ {
+		p.Observe(0, 0, 5000, 10) // low: slow
+		p.Observe(1, 0, 20, 1)    // high: fast
+	}
+	if got := p.Choose(0); p.names[got] != "high" {
+		t.Fatalf("bucket 0 still routed to %q after contradicting observations", p.names[got])
+	}
+	// Other buckets are untouched: the prior still rules bucket 1.
+	if got := p.Choose(1); p.names[got] != "low" {
+		t.Fatalf("bucket 1 routed to %q, want low", p.names[got])
+	}
+}
+
+func TestForce(t *testing.T) {
+	p := twoBackendPlanner(t, Config{})
+	if err := p.Force("nope"); err == nil {
+		t.Fatal("Force accepted an unknown backend")
+	}
+	if err := p.Force("high"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Forced() != "high" {
+		t.Fatalf("Forced = %q", p.Forced())
+	}
+	for bucket := 0; bucket < p.Buckets(); bucket++ {
+		if got := p.Choose(bucket); p.names[got] != "high" {
+			t.Fatalf("forced planner routed bucket %d to %q", bucket, p.names[got])
+		}
+	}
+	if err := p.Force(""); err != nil {
+		t.Fatal(err)
+	}
+	if p.Forced() != "" {
+		t.Fatalf("Forced = %q after release", p.Forced())
+	}
+	if got := p.Choose(0); p.names[got] != "low" {
+		t.Fatal("routing did not resume after Force(\"\")")
+	}
+}
+
+func TestExplorationVisitsLoser(t *testing.T) {
+	p := twoBackendPlanner(t, Config{ExploreEvery: 4})
+	// Route 40 bucket-0 queries, observing only what was chosen. Without
+	// exploration "high" would never run; with ExploreEvery=4 it must.
+	counts := map[string]int{}
+	for i := 0; i < 40; i++ {
+		b := p.Choose(0)
+		counts[p.names[b]]++
+		p.Observe(b, 0, 100, 1)
+	}
+	if counts["high"] == 0 {
+		t.Fatalf("exploration never probed the losing backend: %v", counts)
+	}
+	if counts["low"] <= counts["high"] {
+		t.Fatalf("exploration dominated routing: %v", counts)
+	}
+}
+
+func TestStatsAggregates(t *testing.T) {
+	p := twoBackendPlanner(t, Config{ExploreEvery: 0})
+	p.Choose(0)
+	p.Observe(0, 0, 1000, 7)
+	p.Observe(0, 0, 1000, 7)
+	st := p.Stats()
+	if len(st) != 2 {
+		t.Fatalf("stats for %d backends", len(st))
+	}
+	if st[0].Name != "low" || st[0].Plans != 1 || st[0].Observations != 2 {
+		t.Fatalf("unexpected stats: %+v", st[0])
+	}
+	if st[0].EWMALatencyNanos != 1000 || st[0].EWMADistanceCalls != 7 {
+		t.Fatalf("unexpected EWMAs: %+v", st[0])
+	}
+	if st[1].Plans != 0 || st[1].Observations != 0 || st[1].EWMALatencyNanos != 0 {
+		t.Fatalf("phantom stats for unused backend: %+v", st[1])
+	}
+}
+
+// TestPriorsShape fits the cost model to a synthetic Zipf collection and
+// checks the derived curves: every canonical backend present, all costs
+// positive, the BK-tree curve increasing with θ (triangle pruning degrades
+// with the radius) and the inverted curve non-decreasing (the overlap bound
+// only loosens).
+func TestPriorsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rs := difftest.RandomCollection(rng, 500, 10, 400)
+	cdf := stats.SampleDistances(rs, 5000, 1)
+	freqs := stats.ItemFrequencies(rs)
+	m, err := costmodel.New(len(rs), 10, len(freqs), 0.8, cdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := Priors(m, ranking.RawThreshold(0.3, 10), 8)
+	for _, name := range []string{BackendInverted, BackendBlocked, BackendCoarse, BackendBKTree, BackendAdaptSearch} {
+		c := curves[name]
+		if len(c) != 8 {
+			t.Fatalf("%s: %d buckets", name, len(c))
+		}
+		for i, v := range c {
+			if v <= 0 {
+				t.Fatalf("%s bucket %d: cost %v", name, i, v)
+			}
+		}
+	}
+	bk := curves[BackendBKTree]
+	for i := 1; i < len(bk); i++ {
+		if bk[i] < bk[i-1] {
+			t.Fatalf("bktree prior decreases at bucket %d: %v", i, bk)
+		}
+	}
+	inv := curves[BackendInverted]
+	for i := 1; i < len(inv); i++ {
+		if inv[i] < inv[i-1] {
+			t.Fatalf("inverted prior decreases at bucket %d: %v", i, inv)
+		}
+	}
+}

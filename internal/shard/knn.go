@@ -1,0 +1,126 @@
+package shard
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+
+	"topk/internal/ranking"
+)
+
+// NearestNeighborSearcher is the structural KNN interface of sub-indices
+// (every index kind of package topk implements it).
+type NearestNeighborSearcher interface {
+	// NearestNeighbors returns the n indexed rankings closest to q, ordered
+	// by distance (ties broken by id). The answer is exact.
+	NearestNeighbors(q ranking.Ranking, n int) ([]ranking.Result, error)
+}
+
+// NearestNeighbors answers an exact global KNN query: every shard computes
+// its local top n in parallel, shard-local ids are remapped to global ids,
+// and the per-shard answers — each already sorted by (distance, id) — are
+// k-way merged with a heap and cut to the global top n. Because each shard's
+// answer is exact over its chunk and the chunks partition the collection,
+// the merged prefix is exactly the unsharded answer.
+func (s *Sharded) NearestNeighbors(q ranking.Ranking, n int) ([]ranking.Result, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	searchers := make([]NearestNeighborSearcher, len(s.shards))
+	for i, sh := range s.shards {
+		nn, ok := sh.(NearestNeighborSearcher)
+		if !ok {
+			return nil, fmt.Errorf("shard %d: index kind does not support nearest neighbors", i)
+		}
+		searchers[i] = nn
+	}
+	parts := make([][]ranking.Result, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := 1; i < len(s.shards); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i], errs[i] = s.nearestShard(i, searchers[i], q, n)
+		}(i)
+	}
+	parts[0], errs[0] = s.nearestShard(0, searchers[0], q, n)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return mergeNearest(parts, n), nil
+}
+
+// nearestShard runs one shard's local KNN, remaps ids, and records latency.
+func (s *Sharded) nearestShard(i int, nn NearestNeighborSearcher, q ranking.Ranking, n int) ([]ranking.Result, error) {
+	start := time.Now()
+	res, err := nn.NearestNeighbors(q, n)
+	s.hists[i].Observe(time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	if off := s.offsets[i]; off != 0 {
+		for j := range res {
+			res[j].ID += off
+		}
+	}
+	return res, nil
+}
+
+// nnCursor walks one shard's (distance, id)-sorted answer during the merge.
+type nnCursor struct {
+	res []ranking.Result
+	pos int
+}
+
+func (c nnCursor) head() ranking.Result { return c.res[c.pos] }
+
+// nnMergeHeap is a min-heap of cursors ordered by their head result's
+// (distance, id) — the global KNN order.
+type nnMergeHeap []nnCursor
+
+func (h nnMergeHeap) Len() int { return len(h) }
+func (h nnMergeHeap) Less(i, j int) bool {
+	a, b := h[i].head(), h[j].head()
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+func (h nnMergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnMergeHeap) Push(x interface{}) { *h = append(*h, x.(nnCursor)) }
+func (h *nnMergeHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// mergeNearest k-way merges per-shard KNN answers by (distance, id) and
+// returns the global top n.
+func mergeNearest(parts [][]ranking.Result, n int) []ranking.Result {
+	h := make(nnMergeHeap, 0, len(parts))
+	for _, p := range parts {
+		if len(p) > 0 {
+			h = append(h, nnCursor{res: p})
+		}
+	}
+	heap.Init(&h)
+	var out []ranking.Result
+	for len(h) > 0 && len(out) < n {
+		c := h[0]
+		out = append(out, c.head())
+		c.pos++
+		if c.pos < len(c.res) {
+			h[0] = c
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return out
+}

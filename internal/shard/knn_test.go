@@ -1,0 +1,226 @@
+package shard_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"topk"
+	"topk/internal/difftest"
+	"topk/internal/ranking"
+	"topk/internal/shard"
+)
+
+func coarseBuilder(rs []ranking.Ranking) (shard.Index, error) {
+	return topk.NewCoarseIndexFromSlots(rs)
+}
+
+func invertedBuilder(rs []ranking.Ranking) (shard.Index, error) {
+	return topk.NewInvertedIndexFromSlots(rs)
+}
+
+func blockedBuilder(rs []ranking.Ranking) (shard.Index, error) {
+	return topk.NewBlockedIndex(rs)
+}
+
+func hybridBuilder(rs []ranking.Ranking) (shard.Index, error) {
+	return topk.NewHybridIndexFromSlots(rs)
+}
+
+// TestShardedNearestNeighbors checks the per-shard KNN fan-out with heap
+// merge against the unsharded facade answer, byte-identically, across index
+// kinds (including hybrid sub-indices) and shard counts.
+func TestShardedNearestNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	rs := difftest.RandomCollection(rng, 500, 8, 250)
+	builders := map[string]shard.Builder{
+		"coarse":   coarseBuilder,
+		"inverted": invertedBuilder,
+		"blocked":  blockedBuilder,
+		"hybrid":   hybridBuilder,
+	}
+	for name, build := range builders {
+		ref, err := build(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refNN := ref.(shard.NearestNeighborSearcher)
+		for _, numShards := range []int{1, 3, 7} {
+			sh, err := shard.New(rs, numShards, build)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 10; trial++ {
+				q := difftest.RandomRanking(rng, 8, 250)
+				for _, n := range []int{1, 5, 20, 600} {
+					got, err := sh.NearestNeighbors(q, n)
+					if err != nil {
+						t.Fatalf("%s/%d shards: %v", name, numShards, err)
+					}
+					want, err := refNN.NearestNeighbors(q, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !difftest.Equal(got, want) {
+						t.Fatalf("%s/%d shards, n=%d:\n got %v\nwant %v",
+							name, numShards, n, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedNearestNeighborsEdge covers n <= 0 and sub-indices after
+// mutations (tombstone holes in shards).
+func TestShardedNearestNeighborsEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	rs := difftest.RandomCollection(rng, 200, 8, 150)
+	sh, err := shard.New(rs, 4, invertedBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := sh.NearestNeighbors(rs[0], 0); err != nil || res != nil {
+		t.Fatalf("n=0: %v %v", res, err)
+	}
+	o := difftest.NewOracle(rs)
+	difftest.Mutate(t, "sharded", sh, o, rng, 300, 150)
+	for trial := 0; trial < 10; trial++ {
+		q := difftest.RandomRanking(rng, 8, 150)
+		got, err := sh.NearestNeighbors(q, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle KNN over the mutated slot space.
+		want := bruteNN(o, q, 9)
+		if !difftest.Equal(got, want) {
+			t.Fatalf("after mutations:\n got %v\nwant %v", got, want)
+		}
+	}
+}
+
+// bruteNN ranks the oracle's live slots by (distance, id).
+func bruteNN(o *difftest.Oracle, q ranking.Ranking, n int) []ranking.Result {
+	var all []ranking.Result
+	for _, id := range o.LiveIDs() {
+		all = append(all, ranking.Result{ID: id, Dist: ranking.Footrule(q, o.Slots()[id])})
+	}
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0; j-- {
+			a, b := all[j-1], all[j]
+			if b.Dist < a.Dist || (b.Dist == a.Dist && b.ID < a.ID) {
+				all[j-1], all[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// TestSearchBatchShared checks the shared-candidate batch path against the
+// independent per-query answers, byte-identically, and the ok=false
+// fallback signal for kinds without batch support.
+func TestSearchBatchShared(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	rs := difftest.RandomCollection(rng, 400, 8, 200)
+	// A reformulation-style batch: clusters of near-duplicate queries.
+	var queries []ranking.Ranking
+	for i := 0; i < 8; i++ {
+		base := difftest.RandomRanking(rng, 8, 200)
+		queries = append(queries, base)
+		for j := 0; j < 3; j++ {
+			queries = append(queries, difftest.Perturb(rng, base, 200))
+		}
+	}
+	sh, err := shard.New(rs, 3, invertedBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []float64{0, 0.1, 0.3, 0.6, 1} {
+		got, ok, err := sh.SearchBatchShared(queries, theta)
+		if err != nil || !ok {
+			t.Fatalf("θ=%.2f: ok=%v err=%v", theta, ok, err)
+		}
+		want, err := sh.SearchBatch(queries, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range queries {
+			if !difftest.Equal(got[qi], want[qi]) {
+				t.Fatalf("θ=%.2f query %d:\n got %v\nwant %v", theta, qi, got[qi], want[qi])
+			}
+		}
+	}
+
+	// Kinds without SearchBatch signal fallback.
+	blk, err := shard.New(rs, 3, blockedBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := blk.SearchBatchShared(queries, 0.2); ok || err != nil {
+		t.Fatalf("blocked kind: ok=%v err=%v, want fallback", ok, err)
+	}
+}
+
+// TestSearchBatchSharedAfterMutations exercises the batch path over shards
+// with tombstones and inserts.
+func TestSearchBatchSharedAfterMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	rs := difftest.RandomCollection(rng, 300, 8, 200)
+	sh, err := shard.New(rs, 4, invertedBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := difftest.NewOracle(rs)
+	difftest.Mutate(t, "sharded", sh, o, rng, 400, 200)
+	queries := make([]ranking.Ranking, 12)
+	for i := range queries {
+		queries[i] = difftest.RandomRanking(rng, 8, 200)
+	}
+	got, ok, err := sh.SearchBatchShared(queries, 0.25)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	for qi, q := range queries {
+		want := o.SearchRaw(q, ranking.RawThreshold(0.25, 8))
+		if !difftest.Equal(got[qi], want) {
+			t.Fatalf("query %d:\n got %v\nwant %v", qi, got[qi], want)
+		}
+	}
+}
+
+// TestSearchBatchThetas checks the mixed-radius batch against per-query
+// Search answers.
+func TestSearchBatchThetas(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	rs := difftest.RandomCollection(rng, 300, 8, 200)
+	sh, err := shard.New(rs, 4, coarseBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]ranking.Ranking, 9)
+	thetas := make([]float64, 9)
+	for i := range queries {
+		queries[i] = difftest.RandomRanking(rng, 8, 200)
+		thetas[i] = difftest.Thetas[i%len(difftest.Thetas)]
+	}
+	got, err := sh.SearchBatchThetas(queries, thetas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		want, err := sh.Search(q, thetas[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !difftest.Equal(got[i], want) {
+			t.Fatalf("query %d (θ=%.2f): batch diverges from Search", i, thetas[i])
+		}
+	}
+	if _, err := sh.SearchBatchThetas(queries, thetas[:3]); err == nil {
+		t.Fatal("mismatched thetas length accepted")
+	}
+}

@@ -329,6 +329,21 @@ func (s *Sharded) searchShard(i int, q ranking.Ranking, theta float64) ([]rankin
 // The i-th result slice answers queries[i]; the first error aborts nothing
 // but is reported after all queries finish.
 func (s *Sharded) SearchBatch(queries []ranking.Ranking, theta float64) ([][]ranking.Result, error) {
+	return s.searchMany(queries, func(int) float64 { return theta })
+}
+
+// SearchBatchThetas answers many queries, each at its own threshold — the
+// mixed-radius fallback of the batch API. thetas[i] is the threshold of
+// queries[i].
+func (s *Sharded) SearchBatchThetas(queries []ranking.Ranking, thetas []float64) ([][]ranking.Result, error) {
+	if len(thetas) != len(queries) {
+		return nil, fmt.Errorf("shard: %d thetas for %d queries", len(thetas), len(queries))
+	}
+	return s.searchMany(queries, func(i int) float64 { return thetas[i] })
+}
+
+// searchMany runs independent searches for a query batch with a worker pool.
+func (s *Sharded) searchMany(queries []ranking.Ranking, thetaFor func(int) float64) ([][]ranking.Result, error) {
 	out := make([][]ranking.Result, len(queries))
 	errs := make([]error, len(queries))
 	workers := runtime.GOMAXPROCS(0)
@@ -337,7 +352,7 @@ func (s *Sharded) SearchBatch(queries []ranking.Ranking, theta float64) ([][]ran
 	}
 	if workers <= 1 {
 		for i, q := range queries {
-			out[i], errs[i] = s.Search(q, theta)
+			out[i], errs[i] = s.Search(q, thetaFor(i))
 		}
 	} else {
 		next := make(chan int)
@@ -347,7 +362,7 @@ func (s *Sharded) SearchBatch(queries []ranking.Ranking, theta float64) ([][]ran
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					out[i], errs[i] = s.Search(queries[i], theta)
+					out[i], errs[i] = s.Search(queries[i], thetaFor(i))
 				}
 			}()
 		}
@@ -363,6 +378,84 @@ func (s *Sharded) SearchBatch(queries []ranking.Ranking, theta float64) ([][]ran
 		}
 	}
 	return out, nil
+}
+
+// BatchIndex is the optional sub-index interface behind SearchBatchShared:
+// kinds that can answer a whole uniform-threshold batch with shared
+// filtering work (topk.InvertedIndex via the Section 8 batch processor).
+type BatchIndex interface {
+	SearchBatch(queries []ranking.Ranking, theta float64) ([][]ranking.Result, error)
+}
+
+// SearchBatchShared answers a uniform-threshold batch with per-shard
+// shared-candidate processing: the whole batch is handed to every shard's
+// BatchIndex in parallel, so each shard clusters the batch once and shares
+// index probes across its members, and the per-shard answers concatenate in
+// shard order exactly like Search's merge. Returns ok=false (and does no
+// work) when a sub-index kind does not implement BatchIndex — callers fall
+// back to SearchBatch.
+func (s *Sharded) SearchBatchShared(queries []ranking.Ranking, theta float64) (res [][]ranking.Result, ok bool, err error) {
+	batchers := make([]BatchIndex, len(s.shards))
+	for i, sh := range s.shards {
+		b, isBatcher := sh.(BatchIndex)
+		if !isBatcher {
+			return nil, false, nil
+		}
+		batchers[i] = b
+	}
+	parts := make([][][]ranking.Result, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := 1; i < len(s.shards); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i], errs[i] = s.batchShard(i, batchers[i], queries, theta)
+		}(i)
+	}
+	parts[0], errs[0] = s.batchShard(0, batchers[0], queries, theta)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, true, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	out := make([][]ranking.Result, len(queries))
+	for qi := range queries {
+		total := 0
+		for _, p := range parts {
+			total += len(p[qi])
+		}
+		if total == 0 {
+			continue
+		}
+		merged := make([]ranking.Result, 0, total)
+		for _, p := range parts {
+			merged = append(merged, p[qi]...)
+		}
+		out[qi] = merged
+	}
+	return out, true, nil
+}
+
+// batchShard runs one shard's shared batch and remaps ids to global. The
+// whole batch is one histogram observation — the per-op latency an operator
+// sees for the shared-candidate path.
+func (s *Sharded) batchShard(i int, b BatchIndex, queries []ranking.Ranking, theta float64) ([][]ranking.Result, error) {
+	start := time.Now()
+	res, err := b.SearchBatch(queries, theta)
+	s.hists[i].Observe(time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	if off := s.offsets[i]; off != 0 {
+		for qi := range res {
+			for j := range res[qi] {
+				res[qi][j].ID += off
+			}
+		}
+	}
+	return res, nil
 }
 
 // ShardStats is a point-in-time view of one shard. Len is the live ranking

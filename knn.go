@@ -1,10 +1,6 @@
 package topk
 
 import (
-	"fmt"
-
-	"topk/internal/coarse"
-	"topk/internal/knn"
 	"topk/internal/metric"
 	"topk/internal/ranking"
 )
@@ -17,7 +13,7 @@ type NearestNeighborSearcher interface {
 	NearestNeighbors(q Ranking, n int) ([]Result, error)
 }
 
-// rangeAdapter lifts an internal searcher into knn.RangeSearcher. For
+// rangeAdapter lifts a backend's raw search into knn.RangeSearcher. For
 // mutable indexes, whose internal id space can have tombstone holes, ids
 // enumerates the live internal ids (knn.IDLister); immutable kinds leave it
 // nil and keep the dense-id assumption.
@@ -41,24 +37,9 @@ func (a rangeAdapter) LiveIDs() []ranking.ID {
 
 // NearestNeighbors implements NearestNeighborSearcher with an exact
 // best-first BK-tree traversal for BKTree, and the expanding-radius
-// reduction otherwise.
+// reduction otherwise (see treeBackend.nearestRaw).
 func (t *MetricTree) NearestNeighbors(q Ranking, n int) ([]Result, error) {
-	if q.K() != t.k {
-		return nil, fmt.Errorf("topk: query size %d, index size %d: %w",
-			q.K(), t.k, ranking.ErrSizeMismatch)
-	}
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	ev := metric.New(nil)
-	defer func() { t.calls.Add(ev.Calls()) }()
-	if t.kind == BKTree {
-		return knn.BestFirst(t.bk, q, n, ev), nil
-	}
-	return knn.Expanding(rangeAdapter{
-		query: func(q Ranking, raw int) ([]Result, error) { return t.rawSearch(q, raw, ev) },
-		n:     len(t.rs), k: t.k,
-	}, q, n)
+	return nearestBackend(t.backend(), nil, &t.calls, nil, len(t.rs), t.k, q, n)
 }
 
 // rawSearch answers a raw-threshold range query with ev as the per-query
@@ -86,23 +67,10 @@ func (t *MetricTree) rawSearch(q Ranking, raw int, ev *metric.Evaluator) ([]Resu
 func (c *CoarseIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	mode := coarse.FV
-	if c.drop {
-		mode = coarse.FVDrop
-	}
-	s := c.pool.Get()
-	defer c.pool.Put(s)
-	ev := metric.New(nil)
-	defer func() { c.calls.Add(ev.Calls()) }()
-	res, err := knn.Expanding(rangeAdapter{
-		query: func(q Ranking, raw int) ([]Result, error) {
-			return s.Query(q, raw, ev, mode)
-		},
-		ids: func() []ranking.ID { return liveInternalIDs(c.idx.Len(), c.idx.Deleted) },
-		n:   c.ids.live, k: c.k,
-	}, q, n)
-	c.ids.remapNN(res)
-	return res, err
+	idx := c.idx
+	return nearestBackend(c.backend(), &c.ids, &c.calls,
+		func() []ranking.ID { return liveInternalIDs(idx.Len(), idx.Deleted) },
+		c.ids.live, c.k, q, n)
 }
 
 // NearestNeighbors implements NearestNeighborSearcher via the
@@ -110,32 +78,14 @@ func (c *CoarseIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
 func (ii *InvertedIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
 	ii.mu.RLock()
 	defer ii.mu.RUnlock()
-	s := ii.pool.Get()
-	defer ii.pool.Put(s)
-	ev := metric.New(nil)
-	defer func() { ii.calls.Add(ev.Calls()) }()
-	res, err := knn.Expanding(rangeAdapter{
-		query: func(q Ranking, raw int) ([]Result, error) {
-			return ii.searchWith(s, q, raw, ev)
-		},
-		ids: func() []ranking.ID { return liveInternalIDs(ii.idx.Len(), ii.idx.Deleted) },
-		n:   ii.ids.live, k: ii.k,
-	}, q, n)
-	ii.ids.remapNN(res)
-	return res, err
+	idx := ii.idx
+	return nearestBackend(ii.backend(), &ii.ids, &ii.calls,
+		func() []ranking.ID { return liveInternalIDs(idx.Len(), idx.Deleted) },
+		ii.ids.live, ii.k, q, n)
 }
 
 // NearestNeighbors implements NearestNeighborSearcher via the
 // expanding-radius reduction over the blocked range search.
 func (b *BlockedIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
-	s := b.pool.Get()
-	defer b.pool.Put(s)
-	ev := metric.New(nil)
-	defer func() { b.calls.Add(ev.Calls()) }()
-	return knn.Expanding(rangeAdapter{
-		query: func(q Ranking, raw int) ([]Result, error) {
-			return s.Query(q, raw, ev, b.mode)
-		},
-		n: b.idx.Len(), k: b.k,
-	}, q, n)
+	return nearestBackend(b.backend(), nil, &b.calls, nil, b.idx.Len(), b.k, q, n)
 }

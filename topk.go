@@ -13,6 +13,11 @@
 // (plain and blocked inverted indices, BK-, M- and VP-trees, the
 // AdaptSearch prefix filter) are provided both as baselines and because
 // each has a regime where it wins; see the package examples and README.
+// HybridIndex goes one step further: it builds several of these structures
+// over one collection and routes each query to the one a cost-model-driven
+// planner (internal/planner) predicts cheapest for the query's threshold —
+// the paper's "sweet spot" finding made at query time instead of build
+// time.
 //
 // All Search methods are safe for concurrent use and run in parallel: the
 // per-query scratch state of every index lives in an internal sync.Pool, so
@@ -36,7 +41,6 @@ import (
 	"topk/internal/coarse"
 	"topk/internal/costmodel"
 	"topk/internal/invindex"
-	"topk/internal/metric"
 	"topk/internal/mtree"
 	"topk/internal/ranking"
 	"topk/internal/stats"
@@ -275,21 +279,21 @@ func tuneThetaC(rankings []Ranking, k int, maxTheta float64) (float64, error) {
 	return float64(raw) / float64(ranking.MaxDistance(k)), nil
 }
 
-// Search implements Index.
-func (c *CoarseIndex) Search(q Ranking, theta float64) ([]Result, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+// backend adapts the coarse index's current physical state onto the
+// planner.Backend interface; construct it under the facade's lock.
+func (c *CoarseIndex) backend() coarseBackend {
 	mode := coarse.FV
 	if c.drop {
 		mode = coarse.FVDrop
 	}
-	s := c.pool.Get()
-	defer c.pool.Put(s)
-	ev := metric.New(nil)
-	res, err := s.Query(q, ranking.RawThreshold(theta, c.k), ev, mode)
-	c.calls.Add(ev.Calls())
-	c.ids.remapSearch(res)
-	return res, err
+	return coarseBackend{idx: c.idx, pool: c.pool, mode: mode}
+}
+
+// Search implements Index.
+func (c *CoarseIndex) Search(q Ranking, theta float64) ([]Result, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return searchBackend(c.backend(), &c.ids, &c.calls, c.k, q, theta)
 }
 
 // Len implements Index, counting live (non-deleted) rankings.
@@ -412,31 +416,17 @@ func newInvertedFromSlots(slots []Ranking, opts []InvOption) (*InvertedIndex, er
 	return ii, nil
 }
 
+// backend adapts the inverted index's current physical state onto the
+// planner.Backend interface; construct it under the facade's lock.
+func (ii *InvertedIndex) backend() invBackend {
+	return invBackend{idx: ii.idx, pool: ii.pool, alg: ii.alg}
+}
+
 // Search implements Index.
 func (ii *InvertedIndex) Search(q Ranking, theta float64) ([]Result, error) {
 	ii.mu.RLock()
 	defer ii.mu.RUnlock()
-	s := ii.pool.Get()
-	defer ii.pool.Put(s)
-	ev := metric.New(nil)
-	res, err := ii.searchWith(s, q, ranking.RawThreshold(theta, ii.k), ev)
-	ii.calls.Add(ev.Calls())
-	ii.ids.remapSearch(res)
-	return res, err
-}
-
-// searchWith runs the configured algorithm on a borrowed searcher.
-func (ii *InvertedIndex) searchWith(s *invindex.Searcher, q Ranking, raw int, ev *metric.Evaluator) ([]Result, error) {
-	switch ii.alg {
-	case FilterValidate:
-		return s.FilterValidate(q, raw, ev)
-	case FilterValidateDrop:
-		return s.FilterValidateDrop(q, raw, ev, invindex.DropSafe)
-	case ListMerge:
-		return s.ListMerge(q, raw, ev)
-	default:
-		return nil, fmt.Errorf("topk: unknown algorithm %d", ii.alg)
-	}
+	return searchBackend(ii.backend(), &ii.ids, &ii.calls, ii.k, q, theta)
 }
 
 // Len implements Index, counting live (non-deleted) rankings.
@@ -498,14 +488,14 @@ func NewBlockedIndex(rankings []Ranking, opts ...BlockedOption) (*BlockedIndex, 
 	return b, nil
 }
 
+// backend adapts the blocked index onto the planner.Backend interface.
+func (b *BlockedIndex) backend() blockedBackend {
+	return blockedBackend{idx: b.idx, pool: b.pool, mode: b.mode}
+}
+
 // Search implements Index.
 func (b *BlockedIndex) Search(q Ranking, theta float64) ([]Result, error) {
-	s := b.pool.Get()
-	defer b.pool.Put(s)
-	ev := metric.New(nil)
-	res, err := s.Query(q, ranking.RawThreshold(theta, b.k), ev, b.mode)
-	b.calls.Add(ev.Calls())
-	return res, err
+	return searchBackend(b.backend(), nil, &b.calls, b.k, q, theta)
 }
 
 // Len implements Index.
@@ -570,16 +560,12 @@ func NewMetricTree(rankings []Ranking, kind TreeKind) (*MetricTree, error) {
 	return t, nil
 }
 
+// backend adapts the metric tree onto the planner.Backend interface.
+func (t *MetricTree) backend() treeBackend { return treeBackend{t: t} }
+
 // Search implements Index.
 func (t *MetricTree) Search(q Ranking, theta float64) ([]Result, error) {
-	if q.K() != t.k {
-		return nil, fmt.Errorf("topk: query size %d, index size %d: %w",
-			q.K(), t.k, ranking.ErrSizeMismatch)
-	}
-	ev := metric.New(nil)
-	out, err := t.rawSearch(q, ranking.RawThreshold(theta, t.k), ev)
-	t.calls.Add(ev.Calls())
-	return out, err
+	return searchBackend(t.backend(), nil, &t.calls, t.k, q, theta)
 }
 
 // Len implements Index.
