@@ -10,7 +10,7 @@
 //	topkbench -experiment sweep -json bench.json
 //
 // Experiments: fig3 fig5 fig6 fig7 tab5 fig8 fig9 fig10 tab6 stats parallel
-// sweep
+// sweep rebuild
 //
 // The parallel experiment (also selectable with the -parallel shorthand) is
 // not from the paper: it measures multicore query throughput of one shared
@@ -23,6 +23,11 @@
 // records (backend, n, theta, distance calls, ns/op, hybrid plan counts) as
 // machine-readable JSON — the BENCH_*.json perf trajectory — and implies
 // the sweep when no experiment selects it.
+//
+// The rebuild experiment (also not from the paper) measures hybrid search
+// latency before, during and after a background epoch rebuild: an insert
+// burst pushes the mutation overlay past the rebuild ratio and queries keep
+// running while the fold constructs fresh backends off-lock.
 package main
 
 import (
@@ -38,7 +43,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id: fig3|fig5|fig6|fig7|tab5|fig8|fig9|fig10|tab6|stats|parallel|sweep|all")
+		experiment = flag.String("experiment", "all", "experiment id: fig3|fig5|fig6|fig7|tab5|fig8|fig9|fig10|tab6|stats|parallel|sweep|rebuild|all")
 		scaleName  = flag.String("scale", "small", "dataset scale: small|medium|default")
 		k          = flag.Int("k", 10, "ranking size for the single-k experiments")
 		parallel   = flag.Bool("parallel", false, "shorthand for -experiment parallel (multicore throughput)")
@@ -247,6 +252,17 @@ func run(id string, sc bench.Scale, k int) error {
 			return err
 		}
 		t, err := bench.ParallelThroughput(nyt, 0.2, nil, 0)
+		if err != nil {
+			return err
+		}
+		t.Fprint(os.Stdout)
+		return nil
+	case "rebuild":
+		nyt, _, err := needEnvs()
+		if err != nil {
+			return err
+		}
+		t, err := bench.RebuildLatency(nyt, 0.1, 200)
 		if err != nil {
 			return err
 		}

@@ -3,22 +3,26 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"sort"
 	"testing"
+	"time"
 
 	"topk"
 	"topk/internal/dataset"
+	"topk/internal/difftest"
 	"topk/internal/ranking"
 	"topk/internal/shard"
 )
 
 // TestHybridServe drives the hybrid kind end to end over HTTP: routed
 // searches match a single-backend reference byte-for-byte, GET /stats
-// exposes the aggregated per-backend plan counters, and mutations are
-// rejected with 400.
+// exposes the aggregated per-backend plan counters, and the engine reports
+// itself mutable.
 func TestHybridServe(t *testing.T) {
 	cfg := dataset.NYTLike(300, 10)
 	rs, err := dataset.Generate(cfg)
@@ -29,7 +33,7 @@ func TestHybridServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := shard.New(rs, 3, builderFor("hybrid", 0.3, "", 8))
+	sh, err := shard.New(rs, 3, builderFor("hybrid", 0.3, "", 8, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +74,7 @@ func TestHybridServe(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Index != "hybrid" || st.Mutable {
+	if st.Index != "hybrid" || !st.Mutable {
 		t.Fatalf("implausible stats: %+v", st)
 	}
 	if len(st.Planner) == 0 {
@@ -89,8 +93,46 @@ func TestHybridServe(t *testing.T) {
 		t.Fatalf("plan counters sum to %d, want %d", plans, want)
 	}
 
-	if rec := post(t, h, "/insert", `{"ranking":[901,902,903,904,905,906,907,908,909,910]}`); rec.Code != http.StatusBadRequest {
-		t.Fatalf("insert on hybrid: status %d, want 400", rec.Code)
+	// The full write path over HTTP: insert (id continues the sequence),
+	// search finds the new ranking at distance 0, update keeps the id,
+	// delete retires it, and /stats reflects the delta overlay.
+	rec = post(t, h, "/insert", `{"ranking":[901,902,903,904,905,906,907,908,909,910]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("insert on hybrid: status %d, want 200 (%s)", rec.Code, rec.Body)
+	}
+	var ins mutateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ins); err != nil {
+		t.Fatal(err)
+	}
+	if ins.ID != 300 || ins.N != 301 {
+		t.Fatalf("insert returned id=%d n=%d, want id=300 n=301", ins.ID, ins.N)
+	}
+	rec = postSearch(t, h, map[string]any{"query": []int{901, 902, 903, 904, 905, 906, 907, 908, 909, 910}, "theta": 0.0})
+	var sr searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Count != 1 || sr.Results[0].ID != 300 || sr.Results[0].Dist != 0 {
+		t.Fatalf("inserted ranking not found: %+v", sr)
+	}
+	if rec = post(t, h, "/update", `{"id":300,"ranking":[911,902,903,904,905,906,907,908,909,910]}`); rec.Code != http.StatusOK {
+		t.Fatalf("update on hybrid: status %d (%s)", rec.Code, rec.Body)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	st = statsResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	// Insert + update land two delta entries on the last shard.
+	if st.Delta != 2 || st.Mutations != 2 {
+		t.Fatalf("delta counters after insert+update: delta=%d mutations=%d", st.Delta, st.Mutations)
+	}
+	if rec = post(t, h, "/delete", `{"id":300}`); rec.Code != http.StatusOK {
+		t.Fatalf("delete on hybrid: status %d (%s)", rec.Code, rec.Body)
+	}
+	if rec = post(t, h, "/delete", `{"id":300}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("re-delete of retired id: status %d, want 404", rec.Code)
 	}
 
 	// GET /snapshot works for hybrid (slot view), and the forced-backend
@@ -100,7 +142,7 @@ func TestHybridServe(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("snapshot status %d", rec.Code)
 	}
-	forced, err := shard.New(rs, 2, builderFor("hybrid", 0.3, "coarse", 0))
+	forced, err := shard.New(rs, 2, builderFor("hybrid", 0.3, "coarse", 0, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,23 +235,6 @@ func TestKNNEndpoint(t *testing.T) {
 	}
 }
 
-func bruteKNN(rs []ranking.Ranking, q ranking.Ranking, n int) []ranking.Result {
-	all := make([]ranking.Result, len(rs))
-	for id, r := range rs {
-		all[id] = ranking.Result{ID: ranking.ID(id), Dist: ranking.Footrule(q, r)}
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Dist != all[j].Dist {
-			return all[i].Dist < all[j].Dist
-		}
-		return all[i].ID < all[j].ID
-	})
-	if n > len(all) {
-		n = len(all)
-	}
-	return all[:n]
-}
-
 // TestBatchModes checks the /search batch dispatch: uniform radii over a
 // batch-capable kind take the shared-candidate path, mixed radii fall back
 // to per-query search, and both agree with the single-query answers.
@@ -222,7 +247,7 @@ func TestBatchModes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := shard.New(rs, 3, builderFor("inverted-drop", 0.3, "", 0))
+	sh, err := shard.New(rs, 3, builderFor("inverted-drop", 0.3, "", 0, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,4 +337,157 @@ func TestBatchModes(t *testing.T) {
 	if st.Planner != nil {
 		t.Fatalf("non-hybrid kind exposes planner stats: %+v", st.Planner)
 	}
+}
+
+// TestHybridServeMutationDifferential is the serving-layer acceptance test
+// of the mutable hybrid: a sharded -kind hybrid server absorbs a random
+// mutation workload over HTTP — with the delta ratio set low enough that
+// background epoch rebuilds trigger mid-workload — while /search and /knn
+// answers stay byte-identical to the linear-scan oracle throughout.
+func TestHybridServeMutationDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	rs := difftest.RandomCollection(rng, 240, 8, 150)
+	o := difftest.NewOracle(rs)
+	sh, err := shard.New(rs, 3, builderFor("hybrid", 0.3, "", 0, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(sh, "hybrid").routes()
+
+	checkSearch := func(q ranking.Ranking, theta float64) {
+		t.Helper()
+		rec := postSearch(t, h, map[string]any{"query": q, "theta": theta})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("search: %d %s", rec.Code, rec.Body)
+		}
+		var resp searchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		want, _ := o.Search(q, theta)
+		if len(resp.Results) != len(want) {
+			t.Fatalf("θ=%.2f: %d results, oracle %d", theta, len(resp.Results), len(want))
+		}
+		for i, r := range resp.Results {
+			if r.ID != want[i].ID || r.Dist != want[i].Dist {
+				t.Fatalf("θ=%.2f result %d: got (%d,%d), want (%d,%d)",
+					theta, i, r.ID, r.Dist, want[i].ID, want[i].Dist)
+			}
+		}
+	}
+
+	for op := 0; op < 300; op++ {
+		switch c := rng.Intn(4); {
+		case c < 2: // insert
+			r := difftest.RandomRanking(rng, 8, 150)
+			rec := post(t, h, "/insert", fmt.Sprintf(`{"ranking":%s}`, mustJSON(t, r)))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("insert: %d %s", rec.Code, rec.Body)
+			}
+			var resp mutateResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatal(err)
+			}
+			if want := o.Insert(r); resp.ID != want {
+				t.Fatalf("insert id %d, oracle assigned %d", resp.ID, want)
+			}
+		case c == 2: // delete
+			ids := o.LiveIDs()
+			if len(ids) <= 1 {
+				continue
+			}
+			id := ids[rng.Intn(len(ids))]
+			if rec := post(t, h, "/delete", fmt.Sprintf(`{"id":%d}`, id)); rec.Code != http.StatusOK {
+				t.Fatalf("delete(%d): %d %s", id, rec.Code, rec.Body)
+			}
+			if err := o.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		default: // update
+			ids := o.LiveIDs()
+			id := ids[rng.Intn(len(ids))]
+			r := difftest.RandomRanking(rng, 8, 150)
+			if rec := post(t, h, "/update", fmt.Sprintf(`{"id":%d,"ranking":%s}`, id, mustJSON(t, r))); rec.Code != http.StatusOK {
+				t.Fatalf("update(%d): %d %s", id, rec.Code, rec.Body)
+			}
+			if err := o.Update(id, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if op%10 == 0 {
+			checkSearch(difftest.RandomRanking(rng, 8, 150), difftest.Thetas[rng.Intn(len(difftest.Thetas))])
+		}
+	}
+
+	// The workload overflowed the 5% delta ratio many times over: at least
+	// one background epoch rebuild must install (poll; it is asynchronous).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+		var st statsResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Rebuilds > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no epoch rebuild installed: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Post-rebuild: range and KNN answers still match the oracle.
+	for trial := 0; trial < 10; trial++ {
+		checkSearch(difftest.RandomRanking(rng, 8, 150), difftest.Thetas[rng.Intn(len(difftest.Thetas))])
+	}
+	q := difftest.RandomRanking(rng, 8, 150)
+	rec := post(t, h, "/knn", fmt.Sprintf(`{"query":%s,"n":7}`, mustJSON(t, q)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("knn: %d %s", rec.Code, rec.Body)
+	}
+	var kr knnResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &kr); err != nil {
+		t.Fatal(err)
+	}
+	want := bruteKNN(o.Slots(), q, 7)
+	if len(kr.Results) != len(want) {
+		t.Fatalf("knn: %d results, want %d", len(kr.Results), len(want))
+	}
+	for i, r := range kr.Results {
+		if r.ID != want[i].ID || r.Dist != want[i].Dist {
+			t.Fatalf("knn result %d: got (%d,%d), want (%d,%d)", i, r.ID, r.Dist, want[i].ID, want[i].Dist)
+		}
+	}
+}
+
+// bruteKNN ranks live slots by (distance, id).
+func bruteKNN(slots []ranking.Ranking, q ranking.Ranking, n int) []ranking.Result {
+	var all []ranking.Result
+	for id, r := range slots {
+		if r == nil {
+			continue
+		}
+		all = append(all, ranking.Result{ID: ranking.ID(id), Dist: ranking.Footrule(q, r)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }

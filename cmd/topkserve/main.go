@@ -18,22 +18,27 @@
 //	POST /delete   {"id":7}                     remove a ranking
 //	POST /update   {"id":7,"ranking":[3,2,1]}   replace a ranking, id stable
 //	GET  /snapshot binary persist-v2 snapshot of the live collection
-//	GET  /stats    live collection size, per-shard Len/Tombstones/
-//	               DistanceCalls/latency histograms; for -kind hybrid also
-//	               the per-backend plan counters of the query planner
+//	GET  /stats    live collection size, per-shard Len/Tombstones/Delta/
+//	               Rebuilds/DistanceCalls/latency histograms; for -kind
+//	               hybrid also the per-backend plan counters of the planner
 //	GET  /healthz  liveness probe
 //
 // The hybrid kind (-kind hybrid) builds every physical backend per shard
 // and routes each query to the one the cost model predicts cheapest;
 // -force-backend pins routing and -calibrate replays sample queries against
-// all backends at startup. Uniform-threshold batches are answered with
-// shared-candidate processing (the paper's Section 8 batch mode) when the
-// index kind supports it; mixed-radius batches fall back to per-query
-// search.
+// all backends at startup (both are rejected at startup for any other
+// kind). Uniform-threshold batches are answered with shared-candidate
+// processing (the paper's Section 8 batch mode) when the index kind
+// supports it; mixed-radius batches fall back to per-query search.
 //
-// Mutations are supported by the mutable index kinds (coarse*, inverted*,
-// merge); the read-only kinds (hybrid, blocked*, bktree, mtree, vptree)
-// serve search traffic only and reject mutations with 400. GET /snapshot
+// Mutations are supported by the mutable index kinds (hybrid, coarse*,
+// inverted*, merge). The hybrid engine absorbs them across all five
+// backends: the dynamic ones in place, the static ones through a delta
+// overlay that a background epoch rebuild folds back in once it outgrows
+// -delta-ratio (watch the per-shard delta/rebuilds counters on /stats).
+// The read-only kinds (blocked*, bktree, mtree, vptree) serve search
+// traffic only and reject mutations with 405. Request bodies on every
+// endpoint are bounded by -max-body; larger ones get 413. GET /snapshot
 // saved to a file and passed back via -load-snapshot reloads with all ids
 // preserved — tombstoned ids stay retired; v1 snapshots load as all-live
 // collections.
@@ -63,24 +68,33 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		dataPath  = flag.String("data", "", "collection path (- = stdin), one ranking per line")
-		snapPath  = flag.String("load-snapshot", "", "binary collection snapshot (see topkgen -format binary / topkquery -save-snapshot)")
-		kind      = flag.String("kind", "coarse", "hybrid|coarse|coarse-drop|inverted|inverted-drop|merge|blocked|blocked-drop|bktree|mtree|vptree")
-		shards    = flag.Int("shards", 0, "number of shards (0 = GOMAXPROCS)")
-		maxTheta  = flag.Float64("maxtheta", 0.3, "auto-tune target threshold for the coarse index / hybrid planner")
-		force     = flag.String("force-backend", "", "hybrid only: pin all routing to one backend (inverted|blocked|coarse|bktree|adaptsearch)")
-		calibrate = flag.Int("calibrate", 0, "hybrid only: replay this many sample queries per shard against every backend at startup")
+		addr       = flag.String("addr", ":8080", "listen address")
+		dataPath   = flag.String("data", "", "collection path (- = stdin), one ranking per line")
+		snapPath   = flag.String("load-snapshot", "", "binary collection snapshot (see topkgen -format binary / topkquery -save-snapshot)")
+		kind       = flag.String("kind", "coarse", "hybrid|coarse|coarse-drop|inverted|inverted-drop|merge|blocked|blocked-drop|bktree|mtree|vptree")
+		shards     = flag.Int("shards", 0, "number of shards (0 = GOMAXPROCS)")
+		maxTheta   = flag.Float64("maxtheta", 0.3, "auto-tune target threshold for the coarse index / hybrid planner")
+		force      = flag.String("force-backend", "", "hybrid only: pin all routing to one backend (inverted|blocked|coarse|bktree|adaptsearch)")
+		calibrate  = flag.Int("calibrate", 0, "hybrid only: replay this many sample queries per shard against every backend at startup")
+		deltaRatio = flag.Float64("delta-ratio", topk.DefaultCompactionRatio, "hybrid only: mutation-overlay fraction per shard above which a background epoch rebuild folds the delta into every backend (<= 0 disables)")
+		maxBody    = flag.Int64("max-body", defaultMaxBody, "maximum request body size in bytes on every endpoint; larger bodies get 413")
 	)
 	flag.StringVar(kind, "index", *kind, "deprecated alias for -kind")
 	flag.Parse()
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateKindFlags(*kind, set); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	rankings, err := loadCollection(*dataPath, *snapPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if !slotKind(*kind) {
+	if !mutableKind(*kind) {
 		// Read-only kinds cannot represent retired ids: compact any
 		// tombstoned snapshot slots away and renumber densely.
 		if compacted, dropped := dropTombstones(rankings); dropped > 0 {
@@ -90,7 +104,7 @@ func main() {
 		}
 	}
 	start := time.Now()
-	sh, err := shard.New(rankings, *shards, builderFor(*kind, *maxTheta, *force, *calibrate))
+	sh, err := shard.New(rankings, *shards, builderFor(*kind, *maxTheta, *force, *calibrate, *deltaRatio))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -98,7 +112,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "indexed %d rankings (k=%d) as %d %s shards in %v\n",
 		sh.Len(), sh.K(), sh.NumShards(), *kind, time.Since(start).Round(time.Millisecond))
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(sh, *kind).routes()}
+	s := newServer(sh, *kind)
+	s.maxBody = *maxBody
+	srv := &http.Server{Addr: *addr, Handler: s.routes()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -164,20 +180,30 @@ func loadCollection(dataPath, snapPath string) ([]ranking.Ranking, error) {
 	}
 }
 
+// validateKindFlags fails fast on flag combinations that would otherwise
+// be silently ignored: the hybrid-planner knobs act only on -kind hybrid.
+// set holds the flag names explicitly passed on the command line.
+func validateKindFlags(kind string, set map[string]bool) error {
+	if kind == "hybrid" {
+		return nil
+	}
+	for _, name := range []string{"force-backend", "calibrate", "delta-ratio"} {
+		if set[name] {
+			return fmt.Errorf("-%s applies only to -kind hybrid (have %q)", name, kind)
+		}
+	}
+	return nil
+}
+
 // mutableKind reports whether an index kind supports Insert/Delete/Update.
+// Exactly these kinds can also represent retired (tombstoned) snapshot
+// slots: their constructors all rebuild from one external-id slot array.
 func mutableKind(kind string) bool {
 	switch kind {
-	case "coarse", "coarse-drop", "inverted", "inverted-drop", "merge":
+	case "hybrid", "coarse", "coarse-drop", "inverted", "inverted-drop", "merge":
 		return true
 	}
 	return false
-}
-
-// slotKind reports whether an index kind can represent retired (tombstoned)
-// snapshot slots: the mutable kinds and the hybrid engine, whose backends
-// all rebuild from one slot array.
-func slotKind(kind string) bool {
-	return mutableKind(kind) || kind == "hybrid"
 }
 
 // dropTombstones removes nil (tombstoned) slots, renumbering densely.
@@ -194,11 +220,14 @@ func dropTombstones(slots []ranking.Ranking) ([]ranking.Ranking, int) {
 // builderFor returns the shard builder for an index kind name. Slot-capable
 // kinds build from slots so that tombstoned snapshot entries keep their ids
 // retired; the other kinds require a dense collection (see dropTombstones).
-func builderFor(kind string, maxTheta float64, force string, calibrate int) shard.Builder {
+func builderFor(kind string, maxTheta float64, force string, calibrate int, deltaRatio float64) shard.Builder {
 	return func(rs []ranking.Ranking) (shard.Index, error) {
 		switch kind {
 		case "hybrid":
-			opts := []topk.HybridOption{topk.WithHybridMaxTheta(maxTheta)}
+			opts := []topk.HybridOption{
+				topk.WithHybridMaxTheta(maxTheta),
+				topk.WithHybridDeltaRatio(deltaRatio),
+			}
 			if force != "" {
 				opts = append(opts, topk.WithForcedBackend(force))
 			}
@@ -232,10 +261,14 @@ func builderFor(kind string, maxTheta float64, force string, calibrate int) shar
 	}
 }
 
+// defaultMaxBody bounds request bodies when -max-body is not given.
+const defaultMaxBody = 16 << 20
+
 // server holds the shared sharded index and request counters.
 type server struct {
 	sh      *shard.Sharded
 	kind    string
+	maxBody int64
 	started time.Time
 	queries atomic.Uint64
 	knn     atomic.Uint64
@@ -247,7 +280,27 @@ type server struct {
 }
 
 func newServer(sh *shard.Sharded, kind string) *server {
-	return &server{sh: sh, kind: kind, started: time.Now()}
+	return &server{sh: sh, kind: kind, maxBody: defaultMaxBody, started: time.Now()}
+}
+
+// decodeJSON parses a request body bounded by the -max-body limit; a false
+// return means the error response was already written — 413 when the body
+// exceeded the limit, 400 for anything else.
+func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	err := dec.Decode(v)
+	if err == nil {
+		return true
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds %d bytes (raise -max-body)", mbe.Limit)
+		return false
+	}
+	httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	return false
 }
 
 func (s *server) routes() http.Handler {
@@ -313,10 +366,7 @@ type searchResponse struct {
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req searchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if (req.Query == nil) == (req.Queries == nil) {
@@ -432,10 +482,7 @@ type knnResponse struct {
 // per-shard fan-out and (distance, id) heap merge.
 func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	var req knnRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Query == nil {
@@ -490,20 +537,32 @@ type mutateResponse struct {
 }
 
 // decodeMutation parses and bounds a mutation body; a false return means an
-// error response was already written.
+// error response was already written. Mutations against a read-only index
+// kind are 405 Method Not Allowed, never 500.
 func (s *server) decodeMutation(w http.ResponseWriter, r *http.Request) (mutateRequest, bool) {
 	var req mutateRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return req, false
 	}
 	if !s.sh.Mutable() {
-		httpError(w, http.StatusBadRequest, "index kind %q does not support mutation", s.kind)
+		httpError(w, http.StatusMethodNotAllowed, "index kind %q is read-only: mutations are not supported", s.kind)
 		return req, false
 	}
 	return req, true
+}
+
+// writeMutationError maps a mutation failure onto the endpoint contract:
+// unknown or retired ids are 404, mutations a sub-index rejects as
+// read-only are 405, and only genuine internal failures surface as 500.
+func (s *server) writeMutationError(w http.ResponseWriter, verb string, err error) {
+	switch {
+	case errors.Is(err, topk.ErrUnknownID):
+		httpError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, shard.ErrImmutable):
+		httpError(w, http.StatusMethodNotAllowed, "index kind %q is read-only: %s not supported", s.kind, verb)
+	default:
+		httpError(w, http.StatusInternalServerError, "%s: %v", verb, err)
+	}
 }
 
 // checkRanking validates a mutation payload ranking against the index.
@@ -537,7 +596,7 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.sh.Insert(req.Ranking)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "insert: %v", err)
+		s.writeMutationError(w, "insert", err)
 		return
 	}
 	s.mutations.Add(1)
@@ -558,11 +617,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sh.Delete(*req.ID); err != nil {
-		if errors.Is(err, topk.ErrUnknownID) {
-			httpError(w, http.StatusNotFound, "%v", err)
-		} else {
-			httpError(w, http.StatusInternalServerError, "delete: %v", err)
-		}
+		s.writeMutationError(w, "delete", err)
 		return
 	}
 	s.mutations.Add(1)
@@ -582,11 +637,7 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sh.Update(*req.ID, req.Ranking); err != nil {
-		if errors.Is(err, topk.ErrUnknownID) {
-			httpError(w, http.StatusNotFound, "%v", err)
-		} else {
-			httpError(w, http.StatusInternalServerError, "update: %v", err)
-		}
+		s.writeMutationError(w, "update", err)
 		return
 	}
 	s.mutations.Add(1)
@@ -594,16 +645,21 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	Index         string  `json:"index"`
-	N             int     `json:"n"`
-	K             int     `json:"k"`
-	NumShards     int     `json:"numShards"`
-	Mutable       bool    `json:"mutable"`
-	Queries       uint64  `json:"queries"`
-	KNNQueries    uint64  `json:"knnQueries"`
-	BatchShared   uint64  `json:"batchShared"`
-	BatchPerQuery uint64  `json:"batchPerQuery"`
-	Mutations     uint64  `json:"mutations"`
+	Index         string `json:"index"`
+	N             int    `json:"n"`
+	K             int    `json:"k"`
+	NumShards     int    `json:"numShards"`
+	Mutable       bool   `json:"mutable"`
+	Queries       uint64 `json:"queries"`
+	KNNQueries    uint64 `json:"knnQueries"`
+	BatchShared   uint64 `json:"batchShared"`
+	BatchPerQuery uint64 `json:"batchPerQuery"`
+	Mutations     uint64 `json:"mutations"`
+	// Delta and Rebuilds sum the hybrid engine's mutation-overlay state
+	// across shards: rankings awaiting the next epoch rebuild, and epoch
+	// rebuilds installed so far. Both stay 0 for the other kinds.
+	Delta         int     `json:"delta"`
+	Rebuilds      uint64  `json:"rebuilds"`
 	DistanceCalls uint64  `json:"distanceCalls"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	// Planner is the per-backend plan scoreboard of the hybrid engine,
@@ -655,6 +711,12 @@ func aggregatePlanStats(sh *shard.Sharded) []topk.PlanStats {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	shards := s.sh.Stats()
+	delta, rebuilds := 0, uint64(0)
+	for _, st := range shards {
+		delta += st.Delta
+		rebuilds += st.Rebuilds
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Index:         s.kind,
 		N:             s.sh.Len(),
@@ -666,10 +728,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BatchShared:   s.batchShared.Load(),
 		BatchPerQuery: s.batchSplit.Load(),
 		Mutations:     s.mutations.Load(),
+		Delta:         delta,
+		Rebuilds:      rebuilds,
 		DistanceCalls: s.sh.DistanceCalls(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Planner:       aggregatePlanStats(s.sh),
-		Shards:        s.sh.Stats(),
+		Shards:        shards,
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"topk"
@@ -28,7 +29,7 @@ func testServer(t *testing.T) (*server, []ranking.Ranking, []ranking.Ranking) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := shard.New(rs, 4, builderFor("coarse", 0.3, "", 0))
+	sh, err := shard.New(rs, 4, builderFor("coarse", 0.3, "", 0, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,26 +295,73 @@ func TestMutationEndpointValidation(t *testing.T) {
 	}
 }
 
-// TestMutationRejectedOnImmutableKind pins the 400 (not 500) behavior of
-// the read-only index kinds.
+// TestMutationRejectedOnImmutableKind pins the 405 (never 500) behavior of
+// the read-only index kinds, with a message naming the kind.
 func TestMutationRejectedOnImmutableKind(t *testing.T) {
 	rs, err := dataset.Generate(dataset.NYTLike(100, 10))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := shard.New(rs, 2, builderFor("blocked", 0.3, "", 0))
-	if err != nil {
-		t.Fatal(err)
+	for _, kind := range []string{"blocked", "bktree"} {
+		sh, err := shard.New(rs, 2, builderFor(kind, 0.3, "", 0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := newServer(sh, kind).routes()
+		for _, c := range []struct{ path, body string }{
+			{"/insert", `{"ranking":[11,12,13,14,15,16,17,18,19,20]}`},
+			{"/delete", `{"id":1}`},
+			{"/update", `{"id":1,"ranking":[11,12,13,14,15,16,17,18,19,20]}`},
+		} {
+			rec := post(t, h, c.path, c.body)
+			if rec.Code != http.StatusMethodNotAllowed {
+				t.Fatalf("%s on %s: status %d, want 405 (%s)", c.path, kind, rec.Code, rec.Body)
+			}
+			if !strings.Contains(rec.Body.String(), kind) || !strings.Contains(rec.Body.String(), "read-only") {
+				t.Fatalf("%s rejection does not name the read-only kind: %s", c.path, rec.Body)
+			}
+		}
 	}
-	h := newServer(sh, "blocked").routes()
-	for _, c := range []struct{ path, body string }{
-		{"/insert", `{"ranking":[11,12,13,14,15,16,17,18,19,20]}`},
-		{"/delete", `{"id":1}`},
-		{"/update", `{"id":1,"ranking":[11,12,13,14,15,16,17,18,19,20]}`},
+}
+
+// TestMaxBodyLimit pins the unified -max-body contract: every endpoint
+// shares one limit and oversized bodies get 413, not 400.
+func TestMaxBodyLimit(t *testing.T) {
+	srv, _, qs := testServer(t)
+	srv.maxBody = 256
+	h := srv.routes()
+	// Leading whitespace counts toward the limit and is consumed before any
+	// field parses, so one oversized body exercises every endpoint alike.
+	big := strings.Repeat(" ", 400) + `{"id":1}`
+	for _, path := range []string{"/search", "/knn", "/insert", "/delete", "/update"} {
+		rec := post(t, h, path, big)
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s with oversized body: status %d, want 413 (%s)", path, rec.Code, rec.Body)
+		}
+	}
+	// Within the limit the endpoints still answer normally.
+	if rec := postSearch(t, h, map[string]any{"query": qs[0], "theta": 0.1}); rec.Code != http.StatusOK {
+		t.Fatalf("small body rejected: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// TestValidateKindFlags pins the fail-fast contract of the hybrid-only
+// startup flags.
+func TestValidateKindFlags(t *testing.T) {
+	for _, c := range []struct {
+		kind string
+		set  map[string]bool
+		ok   bool
+	}{
+		{"hybrid", map[string]bool{"force-backend": true, "calibrate": true, "delta-ratio": true}, true},
+		{"coarse", map[string]bool{}, true},
+		{"coarse", map[string]bool{"force-backend": true}, false},
+		{"blocked", map[string]bool{"calibrate": true}, false},
+		{"bktree", map[string]bool{"delta-ratio": true}, false},
 	} {
-		rec := post(t, h, c.path, c.body)
-		if rec.Code != http.StatusBadRequest {
-			t.Fatalf("%s on immutable kind: status %d, want 400 (%s)", c.path, rec.Code, rec.Body)
+		err := validateKindFlags(c.kind, c.set)
+		if (err == nil) != c.ok {
+			t.Fatalf("validateKindFlags(%q, %v) = %v, want ok=%v", c.kind, c.set, err, c.ok)
 		}
 	}
 }
@@ -344,7 +392,7 @@ func TestSnapshotEndpointRoundTrip(t *testing.T) {
 		t.Fatalf("snapshot slots wrong: len=%d slot42=%v", len(slots), slots[42])
 	}
 
-	sh2, err := shard.New(slots, 2, builderFor("coarse", 0.3, "", 0))
+	sh2, err := shard.New(slots, 2, builderFor("coarse", 0.3, "", 0, 0))
 	if err != nil {
 		t.Fatalf("reload: %v", err)
 	}
@@ -396,7 +444,7 @@ func TestLoadCollectionSnapshotV2(t *testing.T) {
 	if !reflect.DeepEqual(got, slots) {
 		t.Fatal("v2 snapshot round-trip diverges")
 	}
-	sh, err := shard.New(got, 3, builderFor("inverted-drop", 0.3, "", 0))
+	sh, err := shard.New(got, 3, builderFor("inverted-drop", 0.3, "", 0, 0))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -73,6 +73,25 @@ func nearestBackend(b planner.Backend, ids *idmap, calls *atomic.Uint64, liveIDs
 	}
 	ev := metric.New(nil)
 	defer func() { calls.Add(ev.Calls()) }()
+	if ids != nil && !ids.inOrder {
+		// Non-monotonic id mapping (an Update reassigned an external id to a
+		// later internal slot): KNN truncates distance ties by id, so the
+		// selection must happen in the external id space — remapping after
+		// the cut would keep the wrong tied members. Run the reduction over
+		// an adapter that remaps every range answer before selection.
+		res, err := knn.Expanding(rangeAdapter{
+			query: func(q Ranking, raw int) ([]Result, error) {
+				r, err := b.SearchRaw(q, raw, ev)
+				for i := range r {
+					r[i].ID = ids.int2ext[r[i].ID]
+				}
+				return r, err
+			},
+			ids: ids.liveExternalIDs,
+			n:   live, k: k,
+		}, q, n)
+		return res, err
+	}
 	var res []Result
 	var err error
 	if e, ok := b.(exactKNN); ok {

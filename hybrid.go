@@ -16,6 +16,7 @@ import (
 	"topk/internal/coarse"
 	"topk/internal/costmodel"
 	"topk/internal/invindex"
+	"topk/internal/knn"
 	"topk/internal/metric"
 	"topk/internal/planner"
 	"topk/internal/ranking"
@@ -37,6 +38,11 @@ var DefaultHybridBackends = []string{
 // construction-time calibration replay use: the paper's query range.
 var defaultCalibrationThetas = []float64{0.05, 0.1, 0.2, 0.3}
 
+// defaultFootruleNanos prices one delta-scan distance call when the cost
+// model could not be fitted (degenerate collections); the overlay surcharge
+// only has to grow in the right direction, the EWMA refines it.
+const defaultFootruleNanos = 60.0
+
 // HybridIndex holds multiple physical index structures over the same
 // collection behind one query interface and routes each range or KNN query
 // to the backend the planner predicts cheapest for the query's threshold.
@@ -45,29 +51,71 @@ var defaultCalibrationThetas = []float64{0.05, 0.1, 0.2, 0.3}
 // traffic to one backend, and Calibrate replays sample queries against every
 // backend to seed the observations.
 //
-// The collection is immutable: all backends are built once from one
-// external-id slot array (tombstoned slots stay retired), so every backend
-// returns byte-identical results and snapshots round-trip through Slots.
+// The collection is fully mutable (HybridIndex implements MutableIndex):
+// the inherently dynamic backends (inverted, coarse) absorb every mutation
+// in place through their tombstone machinery, while the static backends
+// (blocked, bktree, adaptsearch) answer over their build-time base region
+// plus a shared append-only delta overlay that each query merges by linear
+// scan — every backend keeps returning byte-identical results. Once the
+// overlay exceeds a configurable fraction of the collection
+// (WithHybridDeltaRatio), a background epoch rebuild folds the delta and
+// all tombstones back into every backend and re-seeds the planner's priors;
+// Compact does the same synchronously. External IDs are stable across
+// mutations and rebuilds, and snapshots round-trip through Slots.
 // All methods are safe for concurrent use.
 type HybridIndex struct {
+	// mu is write-held by mutations and epoch installs only; queries proceed
+	// concurrently under the read lock against the current epoch.
+	mu sync.RWMutex
+	ep *hybridEpoch
+
+	pl    *planner.Planner
+	calls atomic.Uint64
+	cfg   hybridConfig
+
+	rebuilds atomic.Uint64
+	// rebuilding marks a background fold in flight; foldGen invalidates it
+	// when a synchronous Compact installs a fresher epoch first. oplog
+	// records the mutations applied since the in-flight fold's snapshot so
+	// they can be replayed onto the rebuilt epoch. All three are guarded by mu.
+	rebuilding bool
+	foldGen    uint64
+	oplog      []hybridOp
+}
+
+// hybridEpoch is the physical state of one hybrid build: every backend
+// constructed over the dense base region, plus the shared mutation overlay
+// (append-only delta region and tombstone bitmap) layered on top of the
+// static backends. An epoch's internal id space is base followed by delta;
+// the mirrors (inverted, coarse) maintain exactly the same id space inside
+// their own structures by replaying every insert append-for-append.
+type hybridEpoch struct {
 	ids  idmap
-	live []Ranking // dense live rankings; every backend indexes exactly this
+	base []Ranking // dense live rankings at build; static backends index exactly this
 	k    int
 
+	delta     []Ranking // inserts (and update replacements) since build
+	dead      []bool    // tombstones over the internal id space base+delta
+	deadBase  int
+	deadDelta int
+
 	backends []planner.Backend
-	pl       *planner.Planner
-	calls    atomic.Uint64
-	thetaC   float64
+	mirrors  []deltaMirror // backends that absorb mutations in place
+	overlay  []bool        // overlay[i]: backends[i] pays the delta linear scan
+
+	thetaC        float64
+	footruleNanos float64 // calibrated cost of one delta-scan distance call
 }
 
 // HybridOption configures NewHybridIndex.
 type HybridOption func(*hybridConfig)
 
 type hybridConfig struct {
-	backends  []string
-	forced    string
-	maxTheta  float64
-	calibrate int
+	backends   []string
+	forced     string
+	maxTheta   float64
+	calibrate  int
+	deltaRatio float64
 }
 
 // WithHybridBackends selects which physical backends to build (default
@@ -99,6 +147,15 @@ func WithHybridCalibration(n int) HybridOption {
 	return func(c *hybridConfig) { c.calibrate = n }
 }
 
+// WithHybridDeltaRatio sets the overlay fraction — delta inserts plus
+// base-region tombstones, relative to the whole internal id space — above
+// which a mutation schedules the background epoch rebuild that folds the
+// overlay back into every backend (default DefaultCompactionRatio). A ratio
+// ≤ 0 disables automatic rebuilds; Compact still folds on demand.
+func WithHybridDeltaRatio(ratio float64) HybridOption {
+	return func(c *hybridConfig) { c.deltaRatio = ratio }
+}
+
 // NewHybridIndex builds every configured backend over the collection.
 func NewHybridIndex(rankings []Ranking, opts ...HybridOption) (*HybridIndex, error) {
 	if _, err := validateCollection(rankings); err != nil {
@@ -110,7 +167,9 @@ func NewHybridIndex(rankings []Ranking, opts ...HybridOption) (*HybridIndex, err
 // NewHybridIndexFromSlots builds a hybrid index from an external-id slot
 // array as produced by (*HybridIndex).Slots or a persist snapshot v2: the
 // ranking at position i gets external ID i, and nil entries are tombstoned
-// IDs that stay retired. At least one slot must be live.
+// IDs that stay retired. A zero live count is legal — a shard of a
+// heavily-deleted snapshot can be all tombstones — and yields k = 0 until
+// the first Insert defines the size.
 func NewHybridIndexFromSlots(slots []Ranking, opts ...HybridOption) (*HybridIndex, error) {
 	if _, _, err := validateSlots(slots); err != nil {
 		return nil, err
@@ -119,47 +178,23 @@ func NewHybridIndexFromSlots(slots []Ranking, opts ...HybridOption) (*HybridInde
 }
 
 func newHybridFromSlots(slots []Ranking, opts []HybridOption) (*HybridIndex, error) {
-	cfg := hybridConfig{backends: DefaultHybridBackends, maxTheta: 0.3}
+	cfg := hybridConfig{
+		backends:   DefaultHybridBackends,
+		maxTheta:   0.3,
+		deltaRatio: DefaultCompactionRatio,
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if len(cfg.backends) == 0 {
 		return nil, fmt.Errorf("topk: hybrid needs at least one backend")
 	}
-	m, live := newSlotsIDMap(slots)
-	if len(live) == 0 {
-		return nil, fmt.Errorf("topk: hybrid needs at least one live ranking")
-	}
-	h := &HybridIndex{ids: m, live: live, k: live[0].K()}
-
-	// One cost model drives both the coarse backend's θC auto-tune and the
-	// planner priors. On collections too small to fit (no distance samples,
-	// degenerate frequencies) fall back to flat priors and the paper's
-	// default θC: the EWMA refinement takes over from the first query.
-	model := fitCostModel(live, h.k)
-	h.thetaC = 0.5
-	rawThetaC := ranking.RawThreshold(h.thetaC, h.k)
-	if model != nil {
-		rawThetaC = model.OptimalThetaC(
-			ranking.RawThreshold(cfg.maxTheta, h.k), costmodel.DefaultGrid(h.k))
-		h.thetaC = float64(rawThetaC) / float64(ranking.MaxDistance(h.k))
-	}
-
-	backends, err := buildHybridBackends(live, cfg.backends, rawThetaC)
+	ep, priorCurves, err := buildEpoch(slots, cfg)
 	if err != nil {
 		return nil, err
 	}
-	h.backends = backends
-
-	var priorCurves map[string][]float64
-	if model != nil {
-		priorCurves = planner.Priors(model, rawThetaC, planner.DefaultBuckets)
-	}
-	priors := make([][]float64, len(backends))
-	for i, b := range backends {
-		priors[i] = priorCurves[b.Name()] // nil for unknown names → flat
-	}
-	pl, err := planner.New(cfg.backends, priors, planner.Config{})
+	h := &HybridIndex{ep: ep, cfg: cfg}
+	pl, err := planner.New(cfg.backends, priorsFor(cfg.backends, priorCurves), planner.Config{})
 	if err != nil {
 		return nil, err
 	}
@@ -170,11 +205,85 @@ func newHybridFromSlots(slots []Ranking, opts []HybridOption) (*HybridIndex, err
 		}
 	}
 	if cfg.calibrate > 0 {
-		if err := h.Calibrate(sampleQueries(live, cfg.calibrate), nil); err != nil {
+		if err := h.Calibrate(sampleQueries(ep.base, cfg.calibrate), nil); err != nil {
 			return nil, err
 		}
 	}
 	return h, nil
+}
+
+// buildEpoch constructs one full epoch — id map, backends, overlay wiring,
+// auto-tuned θC — from an external-id slot array, and returns the cost-model
+// prior curves for (re-)seeding the planner.
+func buildEpoch(slots []Ranking, cfg hybridConfig) (*hybridEpoch, map[string][]float64, error) {
+	m, live := newSlotsIDMap(slots)
+	ep := &hybridEpoch{
+		ids:           m,
+		base:          live,
+		dead:          make([]bool, len(live)),
+		thetaC:        0.5,
+		footruleNanos: defaultFootruleNanos,
+	}
+	if len(live) == 0 {
+		// Zero live rankings — an all-tombstone shard of a churned snapshot,
+		// legal for every mutable kind. There is nothing to build physical
+		// structures over: every backend is the delta overlay over an empty
+		// base (k is defined by the first insert), and the fold after the
+		// first mutations constructs the real structures.
+		ep.backends = make([]planner.Backend, len(cfg.backends))
+		ep.overlay = make([]bool, len(cfg.backends))
+		for i, name := range cfg.backends {
+			ep.backends[i] = overlayBackend{inner: emptyBackend{name: name, ep: ep}, ep: ep}
+			ep.overlay[i] = true
+		}
+		return ep, nil, nil
+	}
+	ep.k = live[0].K()
+
+	// One cost model drives both the coarse backend's θC auto-tune and the
+	// planner priors. On collections too small to fit (no distance samples,
+	// degenerate frequencies) fall back to flat priors and the paper's
+	// default θC: the EWMA refinement takes over from the first query.
+	model := fitCostModel(live, ep.k)
+	rawThetaC := ranking.RawThreshold(ep.thetaC, ep.k)
+	if model != nil {
+		rawThetaC = model.OptimalThetaC(
+			ranking.RawThreshold(cfg.maxTheta, ep.k), costmodel.DefaultGrid(ep.k))
+		ep.thetaC = float64(rawThetaC) / float64(ranking.MaxDistance(ep.k))
+		ep.footruleNanos = model.CostFootrule
+	}
+
+	backends, err := buildHybridBackends(live, cfg.backends, rawThetaC)
+	if err != nil {
+		return nil, nil, err
+	}
+	ep.backends = make([]planner.Backend, len(backends))
+	ep.overlay = make([]bool, len(backends))
+	for i, b := range backends {
+		if mir, ok := b.(deltaMirror); ok {
+			ep.backends[i] = b
+			ep.mirrors = append(ep.mirrors, mir)
+			continue
+		}
+		ep.backends[i] = overlayBackend{inner: b, ep: ep}
+		ep.overlay[i] = true
+	}
+
+	var priorCurves map[string][]float64
+	if model != nil {
+		priorCurves = planner.Priors(model, rawThetaC, planner.DefaultBuckets)
+	}
+	return ep, priorCurves, nil
+}
+
+// priorsFor orders the model's prior curves by backend name; nil entries
+// (unknown names, or no fitted model) select flat priors.
+func priorsFor(names []string, curves map[string][]float64) [][]float64 {
+	out := make([][]float64, len(names))
+	for i, name := range names {
+		out[i] = curves[name]
+	}
+	return out
 }
 
 // fitCostModel fits the Section 5 model to the live collection; nil when
@@ -270,10 +379,166 @@ func sampleQueries(live []Ranking, n int) []Ranking {
 	return out
 }
 
+// ---------------------------------------------------------------------------
+// Delta overlay
+// ---------------------------------------------------------------------------
+
+// deltaMirror is implemented by the backend adapters whose inner index
+// absorbs mutations in place (inverted, coarse): every hybrid insert is
+// replayed into them so their append-only internal id spaces stay aligned
+// with the epoch's, and deletes tombstone inside the structure so their
+// searches need no overlay filtering.
+type deltaMirror interface {
+	planner.Backend
+	mirrorInsert(r Ranking) (ID, error)
+	mirrorDelete(id ID) error
+}
+
+func (b invBackend) mirrorInsert(r Ranking) (ID, error) { return b.idx.Insert(r) }
+func (b invBackend) mirrorDelete(id ID) error           { return b.idx.Delete(id) }
+
+// Coarse insert-time distance computations count toward construction cost,
+// not query DistanceCalls, hence the throwaway evaluator.
+func (b coarseBackend) mirrorInsert(r Ranking) (ID, error) { return b.idx.Insert(r, metric.New(nil)) }
+func (b coarseBackend) mirrorDelete(id ID) error           { return b.idx.Delete(id) }
+
+// emptyBackend stands in for a physical structure in an epoch built over
+// zero live rankings: it answers nothing itself — the wrapping
+// overlayBackend contributes whatever the delta region holds — but keeps
+// the query-validation contract of the real backends.
+type emptyBackend struct {
+	name string
+	ep   *hybridEpoch
+}
+
+func (b emptyBackend) Name() string { return b.name }
+func (b emptyBackend) Len() int     { return 0 }
+func (b emptyBackend) K() int       { return b.ep.k }
+
+func (b emptyBackend) SearchRaw(q Ranking, rawTheta int, ev *metric.Evaluator) ([]Result, error) {
+	if k := b.ep.k; k != 0 && q.K() != k {
+		return nil, fmt.Errorf("topk: query size %d, index size %d: %w",
+			q.K(), k, ranking.ErrSizeMismatch)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// overlayBackend layers the epoch's mutation overlay over a static backend:
+// the inner answer covers the base region and is filtered through the
+// tombstone bitmap, then the delta region is scanned linearly with the same
+// filtering. Delta internal ids all exceed base ids, so appending the scan
+// keeps the id-sorted order SearchRaw guarantees, and the scan compares
+// d ≤ rawTheta against the same clamped radius the posting-list kinds see —
+// results stay byte-identical across all five backends.
+type overlayBackend struct {
+	inner planner.Backend
+	ep    *hybridEpoch
+}
+
+func (b overlayBackend) Name() string { return b.inner.Name() }
+func (b overlayBackend) Len() int     { return b.ep.ids.live }
+func (b overlayBackend) K() int       { return b.ep.k }
+
+func (b overlayBackend) SearchRaw(q Ranking, rawTheta int, ev *metric.Evaluator) ([]Result, error) {
+	res, err := b.inner.SearchRaw(q, rawTheta, ev)
+	if err != nil {
+		return nil, err
+	}
+	ep := b.ep
+	if ep.deadBase > 0 {
+		kept := res[:0]
+		for _, r := range res {
+			if !ep.dead[r.ID] {
+				kept = append(kept, r)
+			}
+		}
+		res = kept
+	}
+	for i, r := range ep.delta {
+		intID := ID(len(ep.base) + i)
+		if ep.dead[intID] {
+			continue
+		}
+		var d int
+		if ev != nil {
+			d = ev.Distance(q, r)
+		} else {
+			d = ranking.Footrule(q, r)
+		}
+		if d <= rawTheta {
+			res = append(res, Result{ID: intID, Dist: d})
+		}
+	}
+	return res, nil
+}
+
+// nearestRaw keeps the BK-tree's native best-first KNN as long as the
+// overlay is empty; with deltas or base tombstones present it falls back to
+// the exact expanding-radius reduction over the overlay-merged range search.
+func (b overlayBackend) nearestRaw(q Ranking, n int, ev *metric.Evaluator) ([]Result, error) {
+	if e, ok := b.inner.(exactKNN); ok && len(b.ep.delta) == 0 && b.ep.deadBase == 0 {
+		return e.nearestRaw(q, n, ev)
+	}
+	return knn.Expanding(rangeAdapter{
+		query: func(q Ranking, raw int) ([]Result, error) { return b.SearchRaw(q, raw, ev) },
+		ids:   b.ep.liveInternalIDs,
+		n:     b.ep.ids.live, k: b.ep.k,
+	}, q, n)
+}
+
+// n is the size of the epoch's internal id space (base plus delta,
+// including tombstoned entries).
+func (ep *hybridEpoch) n() int { return len(ep.base) + len(ep.delta) }
+
+// ranking resolves an internal id to its ranking, across both regions.
+func (ep *hybridEpoch) ranking(id ID) Ranking {
+	if int(id) < len(ep.base) {
+		return ep.base[id]
+	}
+	return ep.delta[int(id)-len(ep.base)]
+}
+
+// liveInternalIDs enumerates the non-tombstoned internal ids ascending (the
+// knn.IDLister feed for the dmax backfill).
+func (ep *hybridEpoch) liveInternalIDs() []ranking.ID {
+	out := make([]ranking.ID, 0, ep.ids.live)
+	for i, d := range ep.dead {
+		if !d {
+			out = append(out, ranking.ID(i))
+		}
+	}
+	return out
+}
+
+// slots materializes the external-id slot view of the epoch.
+func (ep *hybridEpoch) slots() []Ranking { return ep.ids.slots(ep.ranking) }
+
+// overlayFraction is the share of the internal id space the overlay must
+// touch per static-backend query: delta entries are linearly scanned and
+// dead base slots filtered from every answer.
+func (ep *hybridEpoch) overlayFraction() float64 {
+	n := ep.n()
+	if n == 0 {
+		return 0
+	}
+	return float64(len(ep.delta)+ep.deadBase) / float64(n)
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
 // Search implements Index: the planner picks the backend for the query's
-// threshold bucket, the query runs there, and the observed latency and
-// distance calls refine the bucket's estimate for that backend.
+// threshold bucket, the query runs there (including the epoch's delta
+// overlay for static backends), and the observed latency and distance calls
+// refine the bucket's estimate for that backend.
 func (h *HybridIndex) Search(q Ranking, theta float64) ([]Result, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	ep := h.ep
 	bucket := h.pl.Bucket(theta)
 	bi := h.pl.Choose(bucket)
 	ev := metric.New(nil)
@@ -281,13 +546,13 @@ func (h *HybridIndex) Search(q Ranking, theta float64) ([]Result, error) {
 	// Clamped so the answer at θ = 1 is the same whichever backend the
 	// planner picks (metric trees would otherwise also see the
 	// zero-overlap rankings at distance exactly dmax).
-	res, err := h.backends[bi].SearchRaw(q, clampRawTheta(ranking.RawThreshold(theta, h.k), h.k), ev)
+	res, err := ep.backends[bi].SearchRaw(q, clampRawTheta(ranking.RawThreshold(theta, ep.k), ep.k), ev)
 	if err != nil {
 		return nil, err
 	}
 	h.pl.Observe(bi, bucket, float64(time.Since(start).Nanoseconds()), ev.Calls())
 	h.calls.Add(ev.Calls())
-	h.ids.remapSearch(res)
+	ep.ids.remapSearch(res)
 	return res, nil
 }
 
@@ -296,8 +561,11 @@ func (h *HybridIndex) Search(q Ranking, theta float64) ([]Result, error) {
 // reduction (and the BK-tree's best-first traversal) spends its work at
 // small radii, so the backend that wins tight range queries wins KNN.
 func (h *HybridIndex) NearestNeighbors(q Ranking, n int) ([]Result, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	ep := h.ep
 	bi := h.pl.Choose(0)
-	return nearestBackend(h.backends[bi], &h.ids, &h.calls, nil, h.ids.live, h.k, q, n)
+	return nearestBackend(ep.backends[bi], &ep.ids, &h.calls, ep.liveInternalIDs, ep.ids.live, ep.k, q, n)
 }
 
 // Calibrate replays every query at every threshold against every backend
@@ -309,9 +577,12 @@ func (h *HybridIndex) Calibrate(queries []Ranking, thetas []float64) error {
 	if thetas == nil {
 		thetas = defaultCalibrationThetas
 	}
-	for bi, b := range h.backends {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	ep := h.ep
+	for bi, b := range ep.backends {
 		for _, theta := range thetas {
-			raw := clampRawTheta(ranking.RawThreshold(theta, h.k), h.k)
+			raw := clampRawTheta(ranking.RawThreshold(theta, ep.k), ep.k)
 			bucket := h.pl.Bucket(theta)
 			for _, q := range queries {
 				ev := metric.New(nil)
@@ -338,8 +609,13 @@ func (h *HybridIndex) Forced() string { return h.pl.Forced() }
 // Backends returns the built backend names in routing order.
 func (h *HybridIndex) Backends() []string { return h.pl.Names() }
 
-// ThetaC reports the coarse backend's (auto-tuned) partitioning threshold.
-func (h *HybridIndex) ThetaC() float64 { return h.thetaC }
+// ThetaC reports the coarse backend's (auto-tuned) partitioning threshold,
+// re-tuned at every epoch rebuild.
+func (h *HybridIndex) ThetaC() float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ep.thetaC
+}
 
 // PlanStats is the per-backend routing scoreboard of a HybridIndex.
 type PlanStats struct {
@@ -374,19 +650,53 @@ func (h *HybridIndex) PlanStats() []PlanStats {
 }
 
 // Len implements Index, counting live (non-tombstoned) rankings.
-func (h *HybridIndex) Len() int { return h.ids.live }
+func (h *HybridIndex) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ep.ids.live
+}
 
-// K implements Index.
-func (h *HybridIndex) K() int { return h.k }
+// K implements Index. An index built over zero live rankings reports 0
+// until the first Insert defines the size.
+func (h *HybridIndex) K() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ep.k
+}
 
 // DistanceCalls implements Index: Footrule evaluations across all backends,
-// including calibration replays.
+// including calibration replays and delta-overlay scans.
 func (h *HybridIndex) DistanceCalls() uint64 { return h.calls.Load() }
+
+// DeltaLen reports how many rankings currently live in the append-only
+// delta overlay (including tombstoned delta entries) — the linear-scan tax
+// every static-backend query pays until the next epoch rebuild.
+func (h *HybridIndex) DeltaLen() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.ep.delta)
+}
+
+// Tombstones reports how many tombstoned rankings are awaiting the next
+// epoch rebuild.
+func (h *HybridIndex) Tombstones() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ep.deadBase + h.ep.deadDelta
+}
+
+// Rebuilds reports how many epoch rebuilds (background folds and explicit
+// Compact calls) have been installed since construction.
+func (h *HybridIndex) Rebuilds() uint64 { return h.rebuilds.Load() }
 
 // Slots returns the external-id slot view of the collection: slots[id] is
 // the live ranking under id, nil for retired ids. Feed it to
 // persist.WriteCollection for a snapshot and to NewHybridIndexFromSlots to
-// restore with all ids preserved.
+// restore with all ids preserved — the delta overlay and tombstones are
+// materialized into the slot array, so a snapshot taken mid-epoch loads as
+// a freshly folded index.
 func (h *HybridIndex) Slots() []Ranking {
-	return h.ids.slots(func(id ID) Ranking { return h.live[id] })
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ep.slots()
 }

@@ -1,0 +1,87 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"topk/internal/difftest"
+)
+
+// FuzzHybridMutation drives a byte-string-encoded mutation workload through
+// a HybridIndex and the linear-scan oracle in lockstep: every few ops the
+// fuzzer cross-checks range answers byte-identically, and folds (Compact)
+// are interleaved so the epoch-rebuild replay machinery is in the fuzzed
+// surface too. Seeded into CI's fuzz-smoke step.
+func FuzzHybridMutation(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{4, 200, 1, 7, 2, 9, 3, 3, 0, 0, 4, 100, 1, 1})
+	f.Add([]byte{2, 2, 2, 2, 1, 1, 1, 1, 3, 3, 0, 255})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 400 {
+			ops = ops[:400]
+		}
+		rng := rand.New(rand.NewSource(61))
+		rs := difftest.RandomCollection(rng, 50, 6, 40)
+		o := difftest.NewOracle(rs)
+		h, err := NewHybridIndex(rs, WithHybridDeltaRatio(0), WithHybridBackends("inverted", "blocked", "bktree"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+1 < len(ops); i += 2 {
+			arg := ops[i+1]
+			switch ops[i] % 5 {
+			case 0: // insert
+				r := difftest.RandomRanking(rand.New(rand.NewSource(int64(arg))), 6, 40)
+				id, err := h.Insert(r)
+				if err != nil {
+					t.Fatalf("insert: %v", err)
+				}
+				if want := o.Insert(r); id != want {
+					t.Fatalf("insert id %d, oracle %d", id, want)
+				}
+			case 1: // delete
+				ids := o.LiveIDs()
+				if len(ids) <= 1 {
+					continue
+				}
+				id := ids[int(arg)%len(ids)]
+				if err := h.Delete(id); err != nil {
+					t.Fatalf("delete(%d): %v", id, err)
+				}
+				if err := o.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+			case 2: // update
+				ids := o.LiveIDs()
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[int(arg)%len(ids)]
+				r := difftest.RandomRanking(rand.New(rand.NewSource(int64(arg)+1000)), 6, 40)
+				if err := h.Update(id, r); err != nil {
+					t.Fatalf("update(%d): %v", id, err)
+				}
+				if err := o.Update(id, r); err != nil {
+					t.Fatal(err)
+				}
+			case 3: // fold
+				if err := h.Compact(); err != nil {
+					t.Fatalf("compact: %v", err)
+				}
+			default: // cross-check a query at a fuzzed threshold
+				q := difftest.RandomRanking(rand.New(rand.NewSource(int64(arg)+2000)), 6, 40)
+				theta := float64(arg) / 255
+				got, err := h.Search(q, theta)
+				if err != nil {
+					t.Fatalf("search: %v", err)
+				}
+				want, _ := o.Search(q, theta)
+				if !difftest.Equal(got, want) {
+					t.Fatalf("θ=%.3f diverged:\n got %v\nwant %v", theta, got, want)
+				}
+			}
+		}
+		// Final full check across the threshold grid.
+		difftest.CheckSearch(t, "fuzz final", h, o, rng, 4, 40)
+	})
+}

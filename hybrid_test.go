@@ -194,10 +194,34 @@ func TestHybridFromSlots(t *testing.T) {
 	}
 	difftest.CheckSearch(t, "hybrid(slots round-trip)", h2, o, rng, 15, 250)
 
-	// All-tombstone and empty slot arrays are rejected.
-	if _, err := NewHybridIndexFromSlots(make([]Ranking, 5)); err == nil {
-		t.Fatal("all-tombstone slot array accepted")
+	// An all-tombstone slot array is legal (a fully churned shard): k is 0
+	// until the first insert defines it, searches answer empty, and the
+	// snapshot round-trip preserves the retired ids.
+	empty, err := NewHybridIndexFromSlots(make([]Ranking, 5))
+	if err != nil {
+		t.Fatal(err)
 	}
+	if empty.Len() != 0 || empty.K() != 0 {
+		t.Fatalf("all-tombstone hybrid: Len=%d K=%d", empty.Len(), empty.K())
+	}
+	if res, err := empty.Search(difftest.RandomRanking(rng, 10, 250), 0.3); err != nil || len(res) != 0 {
+		t.Fatalf("all-tombstone search: %v, %v", res, err)
+	}
+	id, err := empty.Insert(difftest.RandomRanking(rng, 10, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 5 || empty.K() != 10 || empty.Len() != 1 {
+		t.Fatalf("first insert on all-tombstone hybrid: id=%d K=%d Len=%d", id, empty.K(), empty.Len())
+	}
+	if err := empty.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := empty.Search(empty.Slots()[5], 0); err != nil || len(res) != 1 || res[0].ID != 5 {
+		t.Fatalf("post-fold search on revived shard: %v, %v", res, err)
+	}
+
+	// A completely empty collection is still rejected.
 	if _, err := NewHybridIndex(nil); err == nil {
 		t.Fatal("empty collection accepted")
 	}

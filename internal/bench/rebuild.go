@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"topk"
+	"topk/internal/ranking"
+)
+
+// RebuildLatency measures how search latency behaves while the hybrid
+// engine's background epoch rebuild folds the mutation overlay back into
+// its backends — the serving-availability claim of the delta-overlay
+// design: mutations never freeze the collection and folds never block
+// readers. Three phases are measured over the same query mix:
+//
+//   - steady: the freshly built engine, no overlay.
+//   - during: a mutation burst has pushed the overlay past the rebuild
+//     ratio; searches run while the fold constructs new backends off-lock
+//     (delta scans are part of this cost) until the rebuilt epoch installs.
+//   - after: the folded engine.
+func RebuildLatency(env *Env, deltaRatio float64, searches int) (Table, error) {
+	h, err := topk.NewHybridIndex(env.Rankings, topk.WithHybridDeltaRatio(deltaRatio))
+	if err != nil {
+		return Table{}, fmt.Errorf("rebuild: hybrid build: %w", err)
+	}
+	rng := rand.New(rand.NewSource(env.Cfg.Seed + 7))
+	query := func() ranking.Ranking { return env.Queries[rng.Intn(len(env.Queries))] }
+
+	timedSearch := func() (time.Duration, error) {
+		q := query()
+		start := time.Now()
+		_, err := h.Search(q, 0.2)
+		return time.Since(start), err
+	}
+	measure := func(n int) ([]time.Duration, error) {
+		lat := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			d, err := timedSearch()
+			if err != nil {
+				return nil, err
+			}
+			lat = append(lat, d)
+		}
+		return lat, nil
+	}
+
+	steady, err := measure(searches)
+	if err != nil {
+		return Table{}, err
+	}
+
+	// Mutation burst: insert perturbed members until the overlay crosses the
+	// ratio and the background fold starts. The trigger fires once
+	// delta/(base+delta) > ratio, i.e. after ratio·n/(1−ratio) inserts.
+	need := deltaRatio*float64(len(env.Rankings))/(1-deltaRatio) + 2
+	inserted := 0
+	for h.Rebuilds() == 0 && float64(inserted) < need {
+		src := env.Rankings[rng.Intn(len(env.Rankings))]
+		r := append(ranking.Ranking(nil), src...)
+		j := rng.Intn(len(r) - 1)
+		r[j], r[j+1] = r[j+1], r[j]
+		if _, err := h.Insert(r); err != nil {
+			return Table{}, fmt.Errorf("rebuild: insert: %w", err)
+		}
+		inserted++
+	}
+	// "During" collects only searches that actually overlap the fold: the
+	// loop stops the moment the rebuilt epoch installs, so the row's sample
+	// count honestly reports how much of the fold the queries saw (0 means
+	// the fold finished before a single search landed — flagged in a note).
+	var during []time.Duration
+	for h.Rebuilds() == 0 && len(during) < 100*searches {
+		d, err := timedSearch()
+		if err != nil {
+			return Table{}, err
+		}
+		during = append(during, d)
+	}
+
+	after, err := measure(searches)
+	if err != nil {
+		return Table{}, err
+	}
+
+	t := Table{
+		Title:   fmt.Sprintf("Search latency across an epoch rebuild (%s, n=%d, θ=0.2)", env.Name, len(env.Rankings)),
+		Columns: []string{"phase", "searches", "mean µs", "p50 µs", "p95 µs", "max µs"},
+		Notes: []string{
+			fmt.Sprintf("delta ratio %.2f, %d rankings inserted to trigger the fold, %d rebuilds installed",
+				deltaRatio, inserted, h.Rebuilds()),
+		},
+	}
+	if len(during) == 0 {
+		t.Notes = append(t.Notes, "fold installed before any search overlapped it; 'during rebuild' is empty")
+	}
+	if h.Rebuilds() == 0 {
+		t.Notes = append(t.Notes, "fold did not install within the measurement budget; 'during rebuild' latencies are all mid-fold")
+	}
+	for _, phase := range []struct {
+		name string
+		lat  []time.Duration
+	}{{"steady", steady}, {"during rebuild", during}, {"after rebuild", after}} {
+		t.Rows = append(t.Rows, latencyRow(phase.name, phase.lat))
+	}
+	return t, nil
+}
+
+// latencyRow summarizes one phase's latency samples.
+func latencyRow(name string, lat []time.Duration) []string {
+	if len(lat) == 0 {
+		return []string{name, "0", "-", "-", "-", "-"}
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	us := func(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3) }
+	return []string{
+		name,
+		fmt.Sprint(len(sorted)),
+		us(sum / time.Duration(len(sorted))),
+		us(pct(0.50)),
+		us(pct(0.95)),
+		us(pct(1.0)),
+	}
+}

@@ -216,7 +216,12 @@ func readRanking(br *bufio.Reader, k uint32, i int) (ranking.Ranking, error) {
 // collection as snapshot v2: slots[id] is the live ranking under id, nil a
 // tombstoned id. Reloading through ReadCollection preserves the id
 // assignment exactly — live rankings keep their ids, deleted ids stay
-// retired. Returns the number of bytes written.
+// retired (including trailing tombstones: the slot count, not the last
+// live slot, delimits the id space, so the next insert continues the
+// sequence). The hybrid engine's mid-epoch state — base region, delta
+// overlay and tombstones — flattens into exactly this slot view, so a
+// snapshot taken between epoch rebuilds reloads as a freshly folded index.
+// Returns the number of bytes written.
 func WriteCollection(w io.Writer, slots []ranking.Ranking) (int64, error) {
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)

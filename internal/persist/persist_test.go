@@ -225,3 +225,36 @@ func TestSizeEstimatesPositiveAndOrdered(t *testing.T) {
 func invIndexFrom(rs []ranking.Ranking) (*invindex.Index, error) {
 	return invindex.New(rs)
 }
+
+// TestCollectionMidEpochRoundtrip pins the snapshot-v2 shape the hybrid
+// engine's mutation overlay produces: a base region with tombstone holes
+// followed by appended delta slots, ending in a trailing tombstone (a
+// deleted fresh insert). The round-trip must preserve every slot — ids,
+// holes and the id-space length — exactly.
+func TestCollectionMidEpochRoundtrip(t *testing.T) {
+	rs := randomCollection(71, 12, 6, 40)
+	slots := make([]ranking.Ranking, 0, len(rs)+4)
+	slots = append(slots, rs[:8]...)
+	slots[2], slots[5] = nil, nil    // base tombstones
+	slots = append(slots, rs[8:]...) // delta inserts
+	slots = append(slots, nil, nil)  // deleted delta entries, trailing
+	var buf bytes.Buffer
+	if _, err := WriteCollection(&buf, slots); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(slots) {
+		t.Fatalf("round-trip changed the id space: %d slots, want %d", len(got), len(slots))
+	}
+	for i := range slots {
+		switch {
+		case (slots[i] == nil) != (got[i] == nil):
+			t.Fatalf("slot %d liveness diverged", i)
+		case slots[i] != nil && !slots[i].Equal(got[i]):
+			t.Fatalf("slot %d: got %v, want %v", i, got[i], slots[i])
+		}
+	}
+}

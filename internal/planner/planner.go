@@ -110,6 +110,12 @@ type Planner struct {
 	mu    sync.Mutex
 	cells [][]cell // [backend][bucket]
 	seq   []uint64 // per-bucket query counter driving exploration
+	// overlay is a per-backend additive cost surcharge (nanoseconds per
+	// query), bucket-independent: the hybrid engine charges its static
+	// backends the linear delta-overlay scan every one of their queries
+	// pays, so estimates track the overlay as it grows instead of waiting
+	// for the EWMA to drift after the fact.
+	overlay []float64
 
 	forced atomic.Int32    // forced backend index, -1 = model-driven
 	plans  []atomic.Uint64 // queries routed per backend (range + KNN)
@@ -131,32 +137,39 @@ func New(names []string, priors [][]float64, cfg Config) (*Planner, error) {
 		return nil, fmt.Errorf("planner: %d prior curves for %d backends", len(priors), len(names))
 	}
 	p := &Planner{
-		names:  names,
-		cfg:    cfg,
-		priors: make([][]float64, len(names)),
-		cells:  make([][]cell, len(names)),
-		seq:    make([]uint64, cfg.Buckets),
-		plans:  make([]atomic.Uint64, len(names)),
+		names:   names,
+		cfg:     cfg,
+		priors:  make([][]float64, len(names)),
+		cells:   make([][]cell, len(names)),
+		seq:     make([]uint64, cfg.Buckets),
+		overlay: make([]float64, len(names)),
+		plans:   make([]atomic.Uint64, len(names)),
 	}
 	for b := range names {
 		p.cells[b] = make([]cell, cfg.Buckets)
-		p.priors[b] = make([]float64, cfg.Buckets)
-		for i := range p.priors[b] {
-			if b < len(priors) && priors[b] != nil {
-				// Clamp the supplied curve onto the bucket grid; a short
-				// curve repeats its last point.
-				j := i
-				if j >= len(priors[b]) {
-					j = len(priors[b]) - 1
-				}
-				p.priors[b][i] = priors[b][j]
-			} else {
-				p.priors[b][i] = 1 // flat, tie-broken by backend order
-			}
-		}
+		p.priors[b] = clampCurve(priors[b], cfg.Buckets)
 	}
 	p.forced.Store(-1)
 	return p, nil
+}
+
+// clampCurve fits a prior curve onto the bucket grid: a short curve repeats
+// its last point, a nil curve is flat (indifferent, tie-broken by backend
+// order).
+func clampCurve(curve []float64, buckets int) []float64 {
+	out := make([]float64, buckets)
+	for i := range out {
+		if curve == nil {
+			out[i] = 1
+			continue
+		}
+		j := i
+		if j >= len(curve) {
+			j = len(curve) - 1
+		}
+		out[i] = curve[j]
+	}
+	return out
 }
 
 // Buckets returns the number of threshold buckets.
@@ -209,16 +222,57 @@ func (p *Planner) Forced() string {
 	return ""
 }
 
-// estimate blends the prior with the observed EWMA: the prior counts as
+// estimate blends the prior with the observed EWMA — the prior counts as
 // PriorWeight observations, so fresh cells follow the cost model and
-// well-observed cells follow reality.
+// well-observed cells follow reality. The overlay surcharge tops up only
+// the prior share: measured latencies already include the overlay work, so
+// adding the surcharge to the EWMA too would double-count it; instead it
+// decays with observations exactly as the prior does.
 func (p *Planner) estimate(b, bucket int) float64 {
 	c := p.cells[b][bucket]
 	if c.count == 0 {
-		return p.priors[b][bucket]
+		return p.priors[b][bucket] + p.overlay[b]
 	}
 	w := p.cfg.PriorWeight
-	return (w*p.priors[b][bucket] + float64(c.count)*c.ewmaNanos) / (w + float64(c.count))
+	return (w*(p.priors[b][bucket]+p.overlay[b]) + float64(c.count)*c.ewmaNanos) / (w + float64(c.count))
+}
+
+// SetOverlayCost sets the additive per-query cost surcharge (nanoseconds)
+// of one backend across all buckets. The hybrid engine keeps it equal to
+// the cost of the delta-overlay linear scan its static backends pay per
+// query, so cold estimates track the overlay as it grows; once a cell has
+// observations (which contain the scan) the surcharge fades with the
+// prior. 0 clears it.
+func (p *Planner) SetOverlayCost(b int, nanos float64) {
+	if b < 0 || b >= len(p.names) {
+		return
+	}
+	p.mu.Lock()
+	p.overlay[b] = nanos
+	p.mu.Unlock()
+}
+
+// Reseed replaces every backend's prior cost curve and discards the
+// per-bucket observation cells — the estimate invalidation performed after
+// an epoch rebuild, when the observed EWMAs describe physical structures
+// that no longer exist. Plan and exploration counters survive (they are
+// cumulative scoreboard state, not estimates), as do overlay surcharges
+// (the caller re-prices them for the new epoch). priors follows the New
+// contract: nil for all-flat, else one (possibly nil) curve per backend.
+func (p *Planner) Reseed(priors [][]float64) error {
+	if priors == nil {
+		priors = make([][]float64, len(p.names))
+	}
+	if len(priors) != len(p.names) {
+		return fmt.Errorf("planner: %d prior curves for %d backends", len(priors), len(p.names))
+	}
+	p.mu.Lock()
+	for b := range p.names {
+		p.priors[b] = clampCurve(priors[b], p.cfg.Buckets)
+		p.cells[b] = make([]cell, p.cfg.Buckets)
+	}
+	p.mu.Unlock()
+	return nil
 }
 
 // Choose picks the backend for a query in the given θ bucket and counts the

@@ -181,3 +181,66 @@ func TestPriorsShape(t *testing.T) {
 		}
 	}
 }
+
+// TestOverlayCost checks the additive surcharge: it flips routing away from
+// an otherwise-cheaper backend, and clearing it flips routing back.
+func TestOverlayCost(t *testing.T) {
+	p := twoBackendPlanner(t, Config{ExploreEvery: -1})
+	if got := p.Choose(0); got != 0 {
+		t.Fatalf("bucket 0 routed to %d before surcharge, want 0", got)
+	}
+	// Charge "low" more than its prior advantage: "high" must win.
+	p.SetOverlayCost(0, 1000)
+	if got := p.Choose(0); got != 1 {
+		t.Fatalf("bucket 0 routed to %d with surcharged backend 0, want 1", got)
+	}
+	p.SetOverlayCost(0, 0)
+	if got := p.Choose(0); got != 0 {
+		t.Fatalf("bucket 0 routed to %d after clearing the surcharge, want 0", got)
+	}
+	// Out-of-range backends are ignored, not panics.
+	p.SetOverlayCost(-1, 5)
+	p.SetOverlayCost(99, 5)
+}
+
+// TestReseed checks the estimate invalidation: observations that overrode
+// the priors are discarded, new prior curves take over immediately, and the
+// cumulative plan counters survive.
+func TestReseed(t *testing.T) {
+	p := twoBackendPlanner(t, Config{ExploreEvery: -1, PriorWeight: 0.001})
+	// Teach the planner that "high" is actually cheap in bucket 0.
+	for i := 0; i < 50; i++ {
+		p.Observe(0, 0, 1e6, 10)
+		p.Observe(1, 0, 1, 1)
+	}
+	if got := p.Choose(0); got != 1 {
+		t.Fatalf("observations not dominating: routed to %d, want 1", got)
+	}
+	plansBefore := p.Stats()[1].Plans
+
+	// Reseed with curves that invert the original preference: with the
+	// cells cleared, bucket 0 must follow the new priors, not the EWMA.
+	low := []float64{500}
+	high := []float64{20}
+	if err := p.Reseed([][]float64{low, high}); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st[0].Observations != 0 || st[1].Observations != 0 {
+		t.Fatalf("Reseed kept observations: %+v", st)
+	}
+	if st[1].Plans != plansBefore {
+		t.Fatalf("Reseed lost plan counters: %d, want %d", st[1].Plans, plansBefore)
+	}
+	if got := p.Choose(3); got != 1 {
+		t.Fatalf("post-reseed bucket 3 routed to %d, want 1 (new priors)", got)
+	}
+
+	// Curve-count mismatch is rejected; nil selects flat priors.
+	if err := p.Reseed([][]float64{low}); err == nil {
+		t.Fatal("Reseed accepted a short prior list")
+	}
+	if err := p.Reseed(nil); err != nil {
+		t.Fatal(err)
+	}
+}

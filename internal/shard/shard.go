@@ -39,9 +39,9 @@ type Index interface {
 }
 
 // Mutable is the mutation interface of sub-indices that support dynamic
-// collections (package topk's InvertedIndex and CoarseIndex). When every
-// sub-index implements it, the Sharded wrapper routes Insert, Delete and
-// Update to the owning shard; see (*Sharded).Mutable.
+// collections (package topk's InvertedIndex, CoarseIndex and HybridIndex).
+// When every sub-index implements it, the Sharded wrapper routes Insert,
+// Delete and Update to the owning shard; see (*Sharded).Mutable.
 type Mutable interface {
 	Index
 	// Insert adds a ranking and returns its new shard-local ID.
@@ -460,18 +460,22 @@ func (s *Sharded) batchShard(i int, b BatchIndex, queries []ranking.Ranking, the
 
 // ShardStats is a point-in-time view of one shard. Len is the live ranking
 // count; Tombstones counts deleted rankings awaiting compaction (always 0
-// for immutable kinds).
+// for immutable kinds). Delta and Rebuilds describe the hybrid engine's
+// mutation overlay: rankings waiting in the delta region for the next epoch
+// rebuild, and how many rebuilds the shard has installed.
 type ShardStats struct {
 	Shard         int               `json:"shard"`
 	Offset        ranking.ID        `json:"offset"`
 	Len           int               `json:"len"`
 	Tombstones    int               `json:"tombstones,omitempty"`
+	Delta         int               `json:"delta,omitempty"`
+	Rebuilds      uint64            `json:"rebuilds,omitempty"`
 	DistanceCalls uint64            `json:"distanceCalls"`
 	Latency       HistogramSnapshot `json:"latency"`
 }
 
-// Stats snapshots every shard's live size, tombstone backlog, distance-call
-// counter and query latency histogram.
+// Stats snapshots every shard's live size, tombstone backlog, delta-overlay
+// and rebuild counters, distance-call counter and query latency histogram.
 func (s *Sharded) Stats() []ShardStats {
 	out := make([]ShardStats, len(s.shards))
 	for i, sh := range s.shards {
@@ -484,6 +488,12 @@ func (s *Sharded) Stats() []ShardStats {
 		}
 		if t, ok := sh.(interface{ Tombstones() int }); ok {
 			out[i].Tombstones = t.Tombstones()
+		}
+		if d, ok := sh.(interface{ DeltaLen() int }); ok {
+			out[i].Delta = d.DeltaLen()
+		}
+		if r, ok := sh.(interface{ Rebuilds() uint64 }); ok {
+			out[i].Rebuilds = r.Rebuilds()
 		}
 	}
 	return out

@@ -44,8 +44,9 @@ var ErrUnknownID = errors.New("topk: unknown ranking id")
 const DefaultCompactionRatio = 0.25
 
 // MutableIndex is the interface of index kinds that support full collection
-// mutation. InvertedIndex and CoarseIndex implement it; so does the sharded
-// wrapper in internal/shard when built over mutable sub-indices.
+// mutation. InvertedIndex, CoarseIndex and HybridIndex implement it; so
+// does the sharded wrapper in internal/shard when built over mutable
+// sub-indices.
 type MutableIndex interface {
 	Index
 	// Insert adds a ranking and returns its new, stable ID.
@@ -188,6 +189,19 @@ func (m *idmap) remapNN(res []Result) {
 			return res[i].ID < res[j].ID
 		})
 	}
+}
+
+// liveExternalIDs enumerates the assigned (non-retired) external ids
+// ascending — the dmax-backfill feed when a KNN reduction runs in the
+// external id space.
+func (m *idmap) liveExternalIDs() []ID {
+	out := make([]ID, 0, m.live)
+	for ext, v := range m.ext2int {
+		if v >= 0 {
+			out = append(out, ID(ext))
+		}
+	}
+	return out
 }
 
 // slots materializes the external-id slot view: slots[ext] is the live

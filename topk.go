@@ -23,11 +23,13 @@
 // per-query scratch state of every index lives in an internal sync.Pool, so
 // any number of goroutines can query one shared index without contending on
 // a lock. Distance-call accounting is atomic. The mutable kinds
-// (CoarseIndex, InvertedIndex) additionally implement MutableIndex — Insert,
-// Delete and Update with stable external IDs, tombstone filtering on the
-// query path and automatic compaction — and briefly exclude writers from
-// readers with an RWMutex; read-only structures take no lock at all. For
-// query fan-out across cores over one collection, see internal/shard and
+// (CoarseIndex, InvertedIndex, HybridIndex) additionally implement
+// MutableIndex — Insert, Delete and Update with stable external IDs,
+// tombstone filtering on the query path and automatic compaction (for the
+// hybrid engine, a delta overlay over its static backends folded back by
+// background epoch rebuilds) — and briefly exclude writers from readers
+// with an RWMutex; read-only structures take no lock at all. For query
+// fan-out across cores over one collection, see internal/shard and
 // cmd/topkserve.
 package topk
 
