@@ -28,9 +28,17 @@
 // latency before, during and after a background epoch rebuild: an insert
 // burst pushes the mutation overlay past the rebuild ratio and queries keep
 // running while the fold constructs fresh backends off-lock.
+//
+// The wal experiment (also not from the paper) measures the durability tax
+// of the serving stack's write-ahead log: mutation-ack latency and
+// throughput under each sync policy (synchronous commit, group commit,
+// interval flush, none) plus search latency against a concurrent durable
+// mutation stream, with the no-WAL baseline alongside; -json writes the
+// records machine-readably.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +51,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id: fig3|fig5|fig6|fig7|tab5|fig8|fig9|fig10|tab6|stats|parallel|sweep|rebuild|all")
+		experiment = flag.String("experiment", "all", "experiment id: fig3|fig5|fig6|fig7|tab5|fig8|fig9|fig10|tab6|stats|parallel|sweep|rebuild|wal|all")
 		scaleName  = flag.String("scale", "small", "dataset scale: small|medium|default")
 		k          = flag.Int("k", 10, "ranking size for the single-k experiments")
 		parallel   = flag.Bool("parallel", false, "shorthand for -experiment parallel (multicore throughput)")
@@ -71,31 +79,77 @@ func main() {
 		ids = []string{"stats", "fig3", "fig5", "fig6", "fig7", "tab5", "fig8", "fig9", "fig10", "tab6"}
 	}
 	if *jsonPath != "" {
-		found := false
+		// -json implies the sweep unless an experiment that writes its own
+		// JSON records (sweep, wal) is already selected; selecting both with
+		// one output path would overwrite the first's records.
+		writers := 0
 		for _, id := range ids {
-			if strings.TrimSpace(id) == "sweep" {
-				found = true
-				break
+			if id := strings.TrimSpace(id); id == "sweep" || id == "wal" {
+				writers++
 			}
 		}
-		if !found {
+		if writers > 1 {
+			fmt.Fprintln(os.Stderr, "-json with both sweep and wal would overwrite one set of records; run them separately")
+			os.Exit(2)
+		}
+		if writers == 0 {
 			ids = append(ids, "sweep")
 		}
 	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
-		if id == "sweep" {
+		switch id {
+		case "sweep":
 			if err := runSweep(sc, *k, *jsonPath); err != nil {
 				fmt.Fprintf(os.Stderr, "experiment sweep: %v\n", err)
 				os.Exit(1)
 			}
-			continue
-		}
-		if err := run(id, sc, *k); err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
-			os.Exit(1)
+		case "wal":
+			if err := runWAL(sc, *k, *jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "experiment wal: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			if err := run(id, sc, *k); err != nil {
+				fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+				os.Exit(1)
+			}
 		}
 	}
+}
+
+// runWAL measures the write-ahead log's durability overhead on the NYT-like
+// dataset and optionally writes the per-policy records as JSON.
+func runWAL(sc bench.Scale, k int, jsonPath string) error {
+	nyt, _, err := bench.Envs(sc, k)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "topkbench-wal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	recs, t, err := bench.WALOverhead(nyt, 2000, 400, dir)
+	if err != nil {
+		return err
+	}
+	t.Fprint(os.Stdout)
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d wal records to %s\n", len(recs), jsonPath)
+	return nil
 }
 
 // runSweep measures every backend and the hybrid engine on both datasets

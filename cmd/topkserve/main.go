@@ -7,6 +7,7 @@
 //
 //	topkgen -preset nyt -n 50000 | topkserve -data - -kind hybrid
 //	topkserve -load-snapshot rankings.bin -kind blocked-drop -shards 8
+//	topkserve -load-snapshot rankings.bin -kind hybrid -wal /var/lib/topk/wal
 //
 // Endpoints:
 //
@@ -18,6 +19,8 @@
 //	POST /delete   {"id":7}                     remove a ranking
 //	POST /update   {"id":7,"ranking":[3,2,1]}   replace a ranking, id stable
 //	GET  /snapshot binary persist-v2 snapshot of the live collection
+//	POST /checkpoint  (-wal only) durable snapshot into the WAL directory,
+//	               then truncate the replayed log segments
 //	GET  /stats    live collection size, per-shard Len/Tombstones/Delta/
 //	               Rebuilds/DistanceCalls/latency histograms; for -kind
 //	               hybrid also the per-backend plan counters of the planner
@@ -42,6 +45,15 @@
 // saved to a file and passed back via -load-snapshot reloads with all ids
 // preserved — tombstoned ids stay retired; v1 snapshots load as all-live
 // collections.
+//
+// Durability: -wal <dir> makes mutations crash-safe. Every acked
+// Insert/Delete/Update is appended to an on-disk write-ahead log before the
+// response is sent (sync policy via -wal-sync-every / -wal-sync-interval),
+// and on startup the server recovers by loading the newest checkpoint in
+// the WAL directory (falling back to -load-snapshot / -data for the base)
+// and replaying the logged suffix through the shard router. POST
+// /checkpoint streams a consistent v2 snapshot into the WAL directory and
+// truncates the replayed log segments; /stats reports the WAL counters.
 package main
 
 import (
@@ -52,10 +64,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -64,6 +78,7 @@ import (
 	"topk/internal/persist"
 	"topk/internal/ranking"
 	"topk/internal/shard"
+	"topk/internal/wal"
 )
 
 func main() {
@@ -78,6 +93,9 @@ func main() {
 		calibrate  = flag.Int("calibrate", 0, "hybrid only: replay this many sample queries per shard against every backend at startup")
 		deltaRatio = flag.Float64("delta-ratio", topk.DefaultCompactionRatio, "hybrid only: mutation-overlay fraction per shard above which a background epoch rebuild folds the delta into every backend (<= 0 disables)")
 		maxBody    = flag.Int64("max-body", defaultMaxBody, "maximum request body size in bytes on every endpoint; larger bodies get 413")
+		walDir     = flag.String("wal", "", "write-ahead-log directory: append every acked mutation before responding, recover checkpoint+log on startup (mutable kinds only)")
+		walEvery   = flag.Int("wal-sync-every", 1, "fsync the WAL after every n-th mutation (1 = synchronous commit, 0 = rely on -wal-sync-interval and shutdown)")
+		walIvl     = flag.Duration("wal-sync-interval", 0, "background WAL fsync interval (0 disables; combines with -wal-sync-every)")
 	)
 	flag.StringVar(kind, "index", *kind, "deprecated alias for -kind")
 	flag.Parse()
@@ -88,8 +106,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *walDir != "" && !mutableKind(*kind) {
+		fmt.Fprintf(os.Stderr, "-wal applies only to mutable index kinds (have %q)\n", *kind)
+		os.Exit(2)
+	}
 
-	rankings, err := loadCollection(*dataPath, *snapPath)
+	rankings, cpSeq, err := loadBase(*dataPath, *snapPath, *walDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -114,20 +136,122 @@ func main() {
 
 	s := newServer(sh, *kind)
 	s.maxBody = *maxBody
-	srv := &http.Server{Addr: *addr, Handler: s.routes()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	go func() {
-		<-ctx.Done()
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		srv.Shutdown(shutCtx)
-	}()
-	fmt.Fprintf(os.Stderr, "listening on %s\n", *addr)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if *walDir != "" && sh.K() > 255 {
+		// The WAL record format (and the persist checkpoint reader) cap k at
+		// 255. Failing here beats dying on the first client mutation.
+		fmt.Fprintf(os.Stderr, "-wal supports ranking sizes up to 255, collection has k=%d\n", sh.K())
+		os.Exit(2)
+	}
+	if *walDir != "" {
+		replayed, err := recoverWAL(*walDir, cpSeq, sh)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		wlog, err := wal.Open(*walDir, wal.WithSyncEvery(*walEvery), wal.WithSyncInterval(*walIvl))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s.wal, s.walReplayed = wlog, replayed
+		fmt.Fprintf(os.Stderr, "wal %s: replayed %d records, %d live rankings, appending to segment %d\n",
+			*walDir, replayed, sh.Len(), wlog.Stats().ActiveSegment)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	srv := &http.Server{Handler: s.routes()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "listening on %s\n", ln.Addr())
+	if err := serveUntilShutdown(ctx, srv, ln, s, 5*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// serveUntilShutdown runs srv on ln until ctx is cancelled, then drains: it
+// waits for srv.Shutdown to finish handing back every in-flight request —
+// not merely for Serve to return, which happens the moment the listener
+// closes, while handlers are still running — and flushes and closes the WAL
+// only after the last response is written, so a mutation acked during the
+// drain is on disk before exit.
+func serveUntilShutdown(ctx context.Context, srv *http.Server, ln net.Listener, s *server, drainTimeout time.Duration) error {
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		}
+	}()
+	err := srv.Serve(ln)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		// Serve failed on its own: ctx may never be cancelled, so don't wait
+		// for the drain goroutine — just flush whatever the WAL holds.
+		if s.wal != nil {
+			s.wal.Close()
+		}
+		return err
+	}
+	<-drained
+	if s.wal != nil {
+		if cerr := s.wal.Close(); cerr != nil {
+			return fmt.Errorf("wal close: %w", cerr)
+		}
+	}
+	return nil
+}
+
+// loadBase resolves the collection the index is built from. With a WAL
+// directory that holds a checkpoint, the checkpoint wins — it reflects every
+// mutation up to its sequence, which -data/-load-snapshot predate; without
+// one the usual sources apply (both may be omitted only when a checkpoint
+// exists). Returns the sequence to replay the WAL from (0 = from the
+// beginning).
+func loadBase(dataPath, snapPath, walDir string) ([]ranking.Ranking, uint64, error) {
+	if walDir != "" {
+		seq, cpPath, err := wal.LatestCheckpoint(walDir)
+		if err != nil {
+			return nil, 0, err
+		}
+		if cpPath != "" {
+			f, err := os.Open(cpPath)
+			if err != nil {
+				return nil, 0, err
+			}
+			defer f.Close()
+			rankings, err := persist.ReadCollection(f)
+			if err != nil {
+				return nil, 0, fmt.Errorf("wal checkpoint %s: %w", cpPath, err)
+			}
+			if dataPath != "" || snapPath != "" {
+				fmt.Fprintf(os.Stderr, "wal checkpoint %s supersedes -data/-load-snapshot\n", cpPath)
+			}
+			return rankings, seq, nil
+		}
+	}
+	rankings, err := loadCollection(dataPath, snapPath)
+	return rankings, 0, err
+}
+
+// recoverWAL replays the logged mutation suffix through the shard router so
+// every record lands in (and re-extends) the shard that owned it when it
+// was acked.
+func recoverWAL(walDir string, fromSeq uint64, sh *shard.Sharded) (int, error) {
+	st, err := wal.Replay(walDir, fromSeq, sh.Apply)
+	if err != nil {
+		return st.Records, fmt.Errorf("wal recovery: %w", err)
+	}
+	if st.TornSegments > 0 {
+		fmt.Fprintf(os.Stderr, "wal %s: discarded the torn tail of %d segment(s)\n", walDir, st.TornSegments)
+	}
+	return st.Records, nil
 }
 
 // loadCollection reads the collection either from a text file of rankings or
@@ -277,10 +401,85 @@ type server struct {
 	batchShared atomic.Uint64
 	batchSplit  atomic.Uint64
 	mutations   atomic.Uint64
+
+	// wal, when non-nil, makes mutations durable: each handler applies the
+	// mutation and appends its record under walMu — one lock for both steps,
+	// so the log order always equals the apply order (two concurrent inserts
+	// must not ack in one order and replay in the other). Checkpoints take
+	// the same lock for their rotation+capture instant.
+	wal         *wal.Log
+	walMu       sync.Mutex
+	walReplayed int
+	// checkpointMu serializes whole POST /checkpoint requests (the snapshot
+	// streaming runs outside walMu so mutations continue meanwhile).
+	checkpointMu sync.Mutex
+	// walFatal is called when a WAL append fails after the mutation was
+	// already applied in memory; continuing would ack mutations the log
+	// cannot replay. Overridable in tests.
+	walFatal func(err error)
 }
 
 func newServer(sh *shard.Sharded, kind string) *server {
-	return &server{sh: sh, kind: kind, maxBody: defaultMaxBody, started: time.Now()}
+	return &server{
+		sh: sh, kind: kind, maxBody: defaultMaxBody, started: time.Now(),
+		walFatal: func(err error) {
+			fmt.Fprintf(os.Stderr, "fatal: wal append failed after the mutation was applied: %v\n", err)
+			os.Exit(1)
+		},
+	}
+}
+
+// applyInsert applies an insert and, with durability on, logs it before the
+// caller acks. walMu spans apply+append so replay order matches ack order.
+func (s *server) applyInsert(r ranking.Ranking) (ranking.ID, error) {
+	if s.wal == nil {
+		return s.sh.Insert(r)
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	id, err := s.sh.Insert(r)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.wal.Append(wal.Record{Op: wal.OpInsert, ID: id, Ranking: r}); err != nil {
+		s.walFatal(err)
+		return 0, err
+	}
+	return id, nil
+}
+
+// applyDelete is the durable delete path; see applyInsert.
+func (s *server) applyDelete(id ranking.ID) error {
+	if s.wal == nil {
+		return s.sh.Delete(id)
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if err := s.sh.Delete(id); err != nil {
+		return err
+	}
+	if err := s.wal.Append(wal.Record{Op: wal.OpDelete, ID: id}); err != nil {
+		s.walFatal(err)
+		return err
+	}
+	return nil
+}
+
+// applyUpdate is the durable update path; see applyInsert.
+func (s *server) applyUpdate(id ranking.ID, r ranking.Ranking) error {
+	if s.wal == nil {
+		return s.sh.Update(id, r)
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if err := s.sh.Update(id, r); err != nil {
+		return err
+	}
+	if err := s.wal.Append(wal.Record{Op: wal.OpUpdate, ID: id, Ranking: r}); err != nil {
+		s.walFatal(err)
+		return err
+	}
+	return nil
 }
 
 // decodeJSON parses a request body bounded by the -max-body limit; a false
@@ -311,6 +510,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /delete", s.handleDelete)
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -331,6 +531,64 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		// Headers are gone; all we can do is log.
 		fmt.Fprintf(os.Stderr, "snapshot write: %v\n", err)
 	}
+}
+
+// checkpointResponse reports what POST /checkpoint wrote and reclaimed.
+type checkpointResponse struct {
+	// Seq is the log sequence the checkpoint is consistent at: it reflects
+	// every mutation acked before it and none after.
+	Seq uint64 `json:"seq"`
+	// Bytes is the size of the streamed snapshot.
+	Bytes int64 `json:"bytes"`
+	// Slots and Live describe the captured collection (id-space size and
+	// non-tombstoned count).
+	Slots int `json:"slots"`
+	Live  int `json:"live"`
+}
+
+// handleCheckpoint makes the current collection state durable and truncates
+// the WAL: under the mutation lock it rotates the log and captures the
+// consistent slot view (an exact cut — see Sharded.Slots), then streams the
+// v2 snapshot to the WAL directory off-lock, atomically installs it as
+// checkpoint-<seq>.bin and deletes the segments it supersedes. Mutations
+// arriving during the streaming land in the post-rotation segment, which
+// recovery replays on top of the checkpoint.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.wal == nil {
+		httpError(w, http.StatusBadRequest, "server started without -wal: nothing to checkpoint")
+		return
+	}
+	s.checkpointMu.Lock()
+	defer s.checkpointMu.Unlock()
+	s.walMu.Lock()
+	seq, err := s.wal.Rotate()
+	if err != nil {
+		s.walMu.Unlock()
+		httpError(w, http.StatusInternalServerError, "wal rotate: %v", err)
+		return
+	}
+	slots, ok := s.sh.Slots()
+	s.walMu.Unlock()
+	if !ok {
+		httpError(w, http.StatusBadRequest, "index kind %q exposes no snapshot view", s.kind)
+		return
+	}
+	var bytes int64
+	if err := s.wal.Checkpoint(seq, func(f *os.File) error {
+		n, werr := persist.WriteCollection(f, slots)
+		bytes = n
+		return werr
+	}); err != nil {
+		httpError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	live := 0
+	for _, r := range slots {
+		if r != nil {
+			live++
+		}
+	}
+	writeJSON(w, http.StatusOK, checkpointResponse{Seq: seq, Bytes: bytes, Slots: len(slots), Live: live})
 }
 
 // searchRequest is the /search payload: exactly one of Query or Queries,
@@ -594,7 +852,7 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !s.checkRanking(w, req.Ranking) {
 		return
 	}
-	id, err := s.sh.Insert(req.Ranking)
+	id, err := s.applyInsert(req.Ranking)
 	if err != nil {
 		s.writeMutationError(w, "insert", err)
 		return
@@ -616,7 +874,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "\"ranking\" is not a delete field")
 		return
 	}
-	if err := s.sh.Delete(*req.ID); err != nil {
+	if err := s.applyDelete(*req.ID); err != nil {
 		s.writeMutationError(w, "delete", err)
 		return
 	}
@@ -636,7 +894,7 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if !s.checkRanking(w, req.Ranking) {
 		return
 	}
-	if err := s.sh.Update(*req.ID, req.Ranking); err != nil {
+	if err := s.applyUpdate(*req.ID, req.Ranking); err != nil {
 		s.writeMutationError(w, "update", err)
 		return
 	}
@@ -666,6 +924,16 @@ type statsResponse struct {
 	// aggregated across shards; absent for single-backend kinds.
 	Planner []topk.PlanStats   `json:"planner,omitempty"`
 	Shards  []shard.ShardStats `json:"shards"`
+	// WAL reports the durability counters when the server runs with -wal.
+	WAL *walStatsJSON `json:"wal,omitempty"`
+}
+
+// walStatsJSON is the /stats durability section: the log's own counters
+// plus what startup recovery replayed.
+type walStatsJSON struct {
+	Dir      string `json:"dir"`
+	Replayed int    `json:"replayed"`
+	wal.Stats
 }
 
 // planStats is implemented by hybrid sub-indices.
@@ -717,6 +985,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		delta += st.Delta
 		rebuilds += st.Rebuilds
 	}
+	var ws *walStatsJSON
+	if s.wal != nil {
+		ws = &walStatsJSON{Dir: s.wal.Dir(), Replayed: s.walReplayed, Stats: s.wal.Stats()}
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Index:         s.kind,
 		N:             s.sh.Len(),
@@ -734,6 +1006,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Planner:       aggregatePlanStats(s.sh),
 		Shards:        shards,
+		WAL:           ws,
 	})
 }
 

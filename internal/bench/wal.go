@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"topk"
+	"topk/internal/ranking"
+	"topk/internal/wal"
+)
+
+// randomRanking draws a duplicate-free ranking of size k over [0, domain).
+func randomRanking(rng *rand.Rand, k, domain int) ranking.Ranking {
+	r := make(ranking.Ranking, 0, k)
+	seen := make(map[ranking.Item]struct{}, k)
+	for len(r) < k {
+		it := ranking.Item(rng.Intn(domain))
+		if _, dup := seen[it]; dup {
+			continue
+		}
+		seen[it] = struct{}{}
+		r = append(r, it)
+	}
+	return r
+}
+
+// WALRecord is one machine-readable measurement of the durability
+// experiment: mutation-ack cost and search latency under one WAL sync
+// policy, the JSON rows topkbench -experiment wal -json writes.
+type WALRecord struct {
+	Dataset string `json:"dataset"`
+	// Policy names the sync configuration: "off" (no WAL — the PR-4
+	// baseline), "every-1" (synchronous commit), "every-N" (group commit of
+	// N), "interval-5ms" (timed flush), "none" (flush only on shutdown).
+	Policy         string  `json:"policy"`
+	SyncEvery      int     `json:"syncEvery"`
+	SyncIntervalMs float64 `json:"syncIntervalMs,omitempty"`
+	N              int     `json:"n"`
+	K              int     `json:"k"`
+	// Mutation-ack cost: wall-clock per acked mutation (index apply + WAL
+	// append under the serving stack's mutation lock).
+	Ops             int     `json:"ops"`
+	MutationsPerSec float64 `json:"mutationsPerSec"`
+	AckP50Micros    float64 `json:"ackP50Micros"`
+	AckP95Micros    float64 `json:"ackP95Micros"`
+	// Search latency measured while a background mutation stream runs under
+	// the same policy — the read-path overhead of durable writes.
+	Searches        int     `json:"searches"`
+	SearchP50Micros float64 `json:"searchP50Micros"`
+	SearchP95Micros float64 `json:"searchP95Micros"`
+	// Log volume: what the policy actually fsynced.
+	Syncs       uint64 `json:"syncs"`
+	SyncedBytes int64  `json:"syncedBytes"`
+}
+
+// walPolicy is one sync configuration of the experiment grid.
+type walPolicy struct {
+	name     string
+	enabled  bool
+	every    int
+	interval time.Duration
+}
+
+var walPolicies = []walPolicy{
+	{name: "off", enabled: false},
+	{name: "every-1", enabled: true, every: 1},
+	{name: "every-64", enabled: true, every: 64},
+	{name: "interval-5ms", enabled: true, every: 0, interval: 5 * time.Millisecond},
+	{name: "none", enabled: true, every: 0},
+}
+
+// walIndex mirrors the serving stack's durable mutation path: one mutex
+// spans index apply + WAL append so log order equals ack order, exactly
+// like cmd/topkserve.
+type walIndex struct {
+	mu  sync.Mutex
+	idx *topk.HybridIndex
+	log *wal.Log // nil for the "off" baseline
+}
+
+func (w *walIndex) insert(r ranking.Ranking) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	id, err := w.idx.Insert(r)
+	if err != nil {
+		return err
+	}
+	if w.log != nil {
+		return w.log.Append(wal.Record{Op: wal.OpInsert, ID: id, Ranking: r})
+	}
+	return nil
+}
+
+func (w *walIndex) delete(id ranking.ID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.idx.Delete(id); err != nil {
+		return err
+	}
+	if w.log != nil {
+		return w.log.Append(wal.Record{Op: wal.OpDelete, ID: id})
+	}
+	return nil
+}
+
+func (w *walIndex) update(id ranking.ID, r ranking.Ranking) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.idx.Update(id, r); err != nil {
+		return err
+	}
+	if w.log != nil {
+		return w.log.Append(wal.Record{Op: wal.OpUpdate, ID: id, Ranking: r})
+	}
+	return nil
+}
+
+// mutationStream issues one random acked mutation per call, tracking live
+// ids locally (no testing dependency — this is the bench-side analogue of
+// the difftest workload).
+type mutationStream struct {
+	w      *walIndex
+	rng    *rand.Rand
+	k      int
+	domain int
+	live   []ranking.ID
+	nextID ranking.ID
+}
+
+func newMutationStream(w *walIndex, seed int64, k, n, domain int) *mutationStream {
+	live := make([]ranking.ID, n)
+	for i := range live {
+		live[i] = ranking.ID(i)
+	}
+	return &mutationStream{
+		w: w, rng: rand.New(rand.NewSource(seed)), k: k, domain: domain,
+		live: live, nextID: ranking.ID(n),
+	}
+}
+
+func (m *mutationStream) step() error {
+	switch c := m.rng.Intn(4); {
+	case c < 2 || len(m.live) <= 1:
+		r := randomRanking(m.rng, m.k, m.domain)
+		if err := m.w.insert(r); err != nil {
+			return err
+		}
+		m.live = append(m.live, m.nextID)
+		m.nextID++
+	case c == 2:
+		i := m.rng.Intn(len(m.live))
+		if err := m.w.delete(m.live[i]); err != nil {
+			return err
+		}
+		m.live[i] = m.live[len(m.live)-1]
+		m.live = m.live[:len(m.live)-1]
+	default:
+		i := m.rng.Intn(len(m.live))
+		if err := m.w.update(m.live[i], randomRanking(m.rng, m.k, m.domain)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WALOverhead measures the durability tax: for each sync policy it runs ops
+// acked mutations through the serving stack's apply+append path (ack
+// latency, throughput), then measures search latency while a background
+// mutation stream keeps the WAL busy under the same policy. The "off" row
+// is the PR-4 baseline — no WAL in the path at all — so the search columns
+// double as the regression check that durable writes leave the read path
+// untouched when disabled.
+func WALOverhead(env *Env, ops, searches int, dir string) ([]WALRecord, Table, error) {
+	var recs []WALRecord
+	for _, pol := range walPolicies {
+		rec, err := walOverheadOne(env, pol, ops, searches, dir)
+		if err != nil {
+			return nil, Table{}, fmt.Errorf("wal policy %s: %w", pol.name, err)
+		}
+		recs = append(recs, rec)
+	}
+	t := Table{
+		Title: fmt.Sprintf("WAL durability overhead (%s, n=%d, hybrid, θ=0.2)", env.Name, len(env.Rankings)),
+		Columns: []string{"policy", "mut/s", "ack p50 µs", "ack p95 µs",
+			"search p50 µs", "search p95 µs", "syncs", "synced KiB"},
+	}
+	for _, r := range recs {
+		t.Rows = append(t.Rows, []string{
+			r.Policy,
+			fmt.Sprintf("%.0f", r.MutationsPerSec),
+			fmt.Sprintf("%.1f", r.AckP50Micros),
+			fmt.Sprintf("%.1f", r.AckP95Micros),
+			fmt.Sprintf("%.1f", r.SearchP50Micros),
+			fmt.Sprintf("%.1f", r.SearchP95Micros),
+			fmt.Sprint(r.Syncs),
+			fmt.Sprintf("%.1f", float64(r.SyncedBytes)/1024),
+		})
+	}
+	t.Notes = []string{
+		"ack = index apply + WAL append under the mutation lock (topkserve's durable path)",
+		"search latencies measured against a concurrent mutation stream under the same policy",
+		"policy off = no WAL in the path (the pre-durability baseline)",
+	}
+	return recs, t, nil
+}
+
+func walOverheadOne(env *Env, pol walPolicy, ops, searches int, dir string) (WALRecord, error) {
+	idx, err := topk.NewHybridIndex(env.Rankings)
+	if err != nil {
+		return WALRecord{}, err
+	}
+	w := &walIndex{idx: idx}
+	if pol.enabled {
+		sub, err := os.MkdirTemp(dir, "wal-"+pol.name+"-*")
+		if err != nil {
+			return WALRecord{}, err
+		}
+		defer os.RemoveAll(sub)
+		log, err := wal.Open(sub, wal.WithSyncEvery(pol.every), wal.WithSyncInterval(pol.interval))
+		if err != nil {
+			return WALRecord{}, err
+		}
+		defer log.Close()
+		w.log = log
+	}
+	domain := env.V
+	if domain < env.Cfg.K*2 {
+		domain = env.Cfg.K * 2
+	}
+
+	// Phase 1: acked-mutation latency.
+	stream := newMutationStream(w, env.Cfg.Seed+11, env.Cfg.K, len(env.Rankings), domain)
+	ack := make([]time.Duration, 0, ops)
+	phaseStart := time.Now()
+	for i := 0; i < ops; i++ {
+		start := time.Now()
+		if err := stream.step(); err != nil {
+			return WALRecord{}, err
+		}
+		ack = append(ack, time.Since(start))
+	}
+	phase := time.Since(phaseStart)
+
+	// Phase 2: search latency under a live mutation stream.
+	stop := make(chan struct{})
+	var streamErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := stream.step(); err != nil {
+				streamErr = err
+				return
+			}
+		}
+	}()
+	rng := rand.New(rand.NewSource(env.Cfg.Seed + 13))
+	lat := make([]time.Duration, 0, searches)
+	for i := 0; i < searches; i++ {
+		q := env.Queries[rng.Intn(len(env.Queries))]
+		start := time.Now()
+		if _, err := idx.Search(q, 0.2); err != nil {
+			close(stop)
+			wg.Wait()
+			return WALRecord{}, err
+		}
+		lat = append(lat, time.Since(start))
+	}
+	close(stop)
+	wg.Wait()
+	if streamErr != nil {
+		return WALRecord{}, streamErr
+	}
+
+	rec := WALRecord{
+		Dataset:         env.Name,
+		Policy:          pol.name,
+		SyncEvery:       pol.every,
+		SyncIntervalMs:  float64(pol.interval) / float64(time.Millisecond),
+		N:               len(env.Rankings),
+		K:               env.Cfg.K,
+		Ops:             ops,
+		MutationsPerSec: float64(ops) / phase.Seconds(),
+		AckP50Micros:    micros(pct(ack, 0.50)),
+		AckP95Micros:    micros(pct(ack, 0.95)),
+		Searches:        searches,
+		SearchP50Micros: micros(pct(lat, 0.50)),
+		SearchP95Micros: micros(pct(lat, 0.95)),
+	}
+	if w.log != nil {
+		st := w.log.Stats()
+		rec.Syncs = st.Syncs
+		rec.SyncedBytes = st.SyncedBytes
+	}
+	return rec, nil
+}
+
+// pct returns the p-quantile of unsorted latency samples.
+func pct(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

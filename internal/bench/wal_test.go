@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestWALOverheadSmoke runs the durability experiment at tiny scale: every
+// policy row must come back with sane counters — the synchronous policy
+// syncs at least once per op, the off baseline never touches a log.
+func TestWALOverheadSmoke(t *testing.T) {
+	env := tinyEnv(t)
+	recs, table, err := WALOverhead(env, 150, 30, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(walPolicies) {
+		t.Fatalf("%d records for %d policies", len(recs), len(walPolicies))
+	}
+	if len(table.Rows) != len(recs) {
+		t.Fatalf("table rows %d != records %d", len(table.Rows), len(recs))
+	}
+	byName := map[string]WALRecord{}
+	for _, r := range recs {
+		byName[r.Policy] = r
+		if r.Ops != 150 || r.Searches != 30 {
+			t.Fatalf("policy %s: ops/searches %d/%d", r.Policy, r.Ops, r.Searches)
+		}
+		if r.MutationsPerSec <= 0 {
+			t.Fatalf("policy %s: zero mutation throughput", r.Policy)
+		}
+	}
+	if off := byName["off"]; off.Syncs != 0 || off.SyncedBytes != 0 {
+		t.Fatalf("off baseline touched a log: %+v", off)
+	}
+	if s1 := byName["every-1"]; s1.Syncs < 150 || s1.SyncedBytes == 0 {
+		t.Fatalf("synchronous commit under-synced: %+v", s1)
+	}
+}

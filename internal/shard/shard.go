@@ -71,6 +71,12 @@ type Sharded struct {
 	sizes   []int        // initial slot count of shard i (id-range width)
 	hists   []*Histogram // per-shard query latency
 	k       int
+	// snapMu is the cross-shard consistency point of Slots: mutations hold
+	// it shared (they still run concurrently, serialized only within their
+	// owning shard), Slots holds it exclusively so the per-shard slot views
+	// it concatenates form one cut of the mutation history instead of a
+	// state that never existed. Searches never touch it.
+	snapMu sync.RWMutex
 }
 
 // New partitions the collection into numShards contiguous, near-equal
@@ -167,6 +173,8 @@ var ErrImmutable = errors.New("shard: index kind does not support mutation")
 // ID-range invariant — and with it the concatenation merge of Search — is
 // preserved no matter how the collection grows.
 func (s *Sharded) Insert(r ranking.Ranking) (ranking.ID, error) {
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	last := len(s.shards) - 1
 	m, ok := s.shards[last].(Mutable)
 	if !ok {
@@ -182,6 +190,8 @@ func (s *Sharded) Insert(r ranking.Ranking) (ranking.ID, error) {
 // Delete removes the ranking with the given global ID, routing to the
 // owning shard.
 func (s *Sharded) Delete(id ranking.ID) error {
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	i, local, err := s.owner(id)
 	if err != nil {
 		return err
@@ -199,6 +209,8 @@ func (s *Sharded) Delete(id ranking.ID) error {
 // Update replaces the ranking stored under an existing global ID, routing
 // to the owning shard. The ID stays stable.
 func (s *Sharded) Update(id ranking.ID, r ranking.Ranking) error {
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	i, local, err := s.owner(id)
 	if err != nil {
 		return err
@@ -232,7 +244,15 @@ func (s *Sharded) Compact() error {
 // an equivalent sharded index with all ids preserved (non-last shards never
 // grow, so per-shard slot ranges stay contiguous). Returns false when a
 // sub-index kind exposes no slot view.
+//
+// The view is a consistent cut: Slots quiesces mutations (exclusive
+// snapMu) while it walks the shards, so a snapshot racing concurrent
+// Insert/Delete/Update reflects exactly the mutations that completed
+// before some single point in time — never a cross-shard mix where a later
+// mutation is visible but an earlier one is not.
 func (s *Sharded) Slots() ([]ranking.Ranking, bool) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
 	var out []ranking.Ranking
 	for _, sh := range s.shards {
 		v, ok := sh.(interface{ Slots() []ranking.Ranking })
