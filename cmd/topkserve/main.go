@@ -22,9 +22,24 @@
 //	POST /checkpoint  (-wal only) durable snapshot into the WAL directory,
 //	               then truncate the replayed log segments
 //	GET  /stats    live collection size, per-shard Len/Tombstones/Delta/
-//	               Rebuilds/DistanceCalls/latency histograms; for -kind
-//	               hybrid also the per-backend plan counters of the planner
-//	GET  /healthz  liveness probe
+//	               Rebuilds/DistanceCalls/latency histograms, fan-out and
+//	               merge timings; for -kind hybrid also the per-backend plan
+//	               counters of the planner
+//	GET  /metrics  Prometheus text exposition: HTTP request/error/in-flight/
+//	               latency by route and status, per-shard query histograms,
+//	               fan-out and merge timings, planner plan/mispredict
+//	               counters, WAL and epoch-rebuild counters, Go runtime stats
+//	GET  /healthz  liveness probe (200 as long as the process serves HTTP)
+//	GET  /readyz   readiness probe (503 until the initial index build and
+//	               WAL replay finish, 200 after)
+//	GET  /debug/trace  ring of the most recent per-request traces: request
+//	               id, per-stage timings, hybrid backend attribution
+//
+// Observability: every request carries an X-Request-ID (generated when the
+// client sends none) and records a span per stage (parse, plan, fan-out,
+// merge, respond). -slow-query logs any request at least that slow to
+// stderr as one-line JSON; -debug-addr starts a separate net/http/pprof
+// listener for live profiling.
 //
 // The hybrid kind (-kind hybrid) builds every physical backend per shard
 // and routes each query to the one the cost model predicts cheapest;
@@ -66,8 +81,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -96,6 +113,8 @@ func main() {
 		walDir     = flag.String("wal", "", "write-ahead-log directory: append every acked mutation before responding, recover checkpoint+log on startup (mutable kinds only)")
 		walEvery   = flag.Int("wal-sync-every", 1, "fsync the WAL after every n-th mutation (1 = synchronous commit, 0 = rely on -wal-sync-interval and shutdown)")
 		walIvl     = flag.Duration("wal-sync-interval", 0, "background WAL fsync interval (0 disables; combines with -wal-sync-every)")
+		slowQuery  = flag.Duration("slow-query", 0, "log any request at least this slow to stderr as one-line JSON with per-stage timings (0 disables)")
+		debugAddr  = flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty disables)")
 	)
 	flag.StringVar(kind, "index", *kind, "deprecated alias for -kind")
 	flag.Parse()
@@ -110,6 +129,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-wal applies only to mutable index kinds (have %q)\n", *kind)
 		os.Exit(2)
 	}
+
+	// The listener comes up before the index builds: /healthz answers
+	// (liveness) and /readyz holds 503 (readiness) throughout the build and
+	// WAL replay, and install flips the index-backed routes live at the end.
+	s := newServer(nil, *kind)
+	s.maxBody = *maxBody
+	s.tracer.slowQuery = *slowQuery
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		if err := serveDebug(*debugAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	srv := &http.Server{Handler: s.routes()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "listening on %s\n", ln.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serveUntilShutdown(ctx, srv, ln, s, 5*time.Second) }()
 
 	rankings, cpSeq, err := loadBase(*dataPath, *snapPath, *walDir)
 	if err != nil {
@@ -134,43 +177,55 @@ func main() {
 	fmt.Fprintf(os.Stderr, "indexed %d rankings (k=%d) as %d %s shards in %v\n",
 		sh.Len(), sh.K(), sh.NumShards(), *kind, time.Since(start).Round(time.Millisecond))
 
-	s := newServer(sh, *kind)
-	s.maxBody = *maxBody
 	if *walDir != "" && sh.K() > 255 {
 		// The WAL record format (and the persist checkpoint reader) cap k at
 		// 255. Failing here beats dying on the first client mutation.
 		fmt.Fprintf(os.Stderr, "-wal supports ranking sizes up to 255, collection has k=%d\n", sh.K())
 		os.Exit(2)
 	}
+	var wlog *wal.Log
+	replayed := 0
 	if *walDir != "" {
-		replayed, err := recoverWAL(*walDir, cpSeq, sh)
-		if err != nil {
+		if replayed, err = recoverWAL(*walDir, cpSeq, sh); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		wlog, err := wal.Open(*walDir, wal.WithSyncEvery(*walEvery), wal.WithSyncInterval(*walIvl))
-		if err != nil {
+		if wlog, err = wal.Open(*walDir, wal.WithSyncEvery(*walEvery), wal.WithSyncInterval(*walIvl)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		s.wal, s.walReplayed = wlog, replayed
 		fmt.Fprintf(os.Stderr, "wal %s: replayed %d records, %d live rankings, appending to segment %d\n",
 			*walDir, replayed, sh.Len(), wlog.Stats().ActiveSegment)
 	}
+	s.install(sh, wlog, replayed)
+	fmt.Fprintf(os.Stderr, "ready\n")
 
-	ln, err := net.Listen("tcp", *addr)
+	if err := <-serveErr; err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// serveDebug starts the pprof listener: a separate address so profiling is
+// never exposed on the serving port.
+func serveDebug(addr string) error {
+	dln, err := net.Listen("tcp", addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	srv := &http.Server{Handler: s.routes()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	fmt.Fprintf(os.Stderr, "listening on %s\n", ln.Addr())
-	if err := serveUntilShutdown(ctx, srv, ln, s, 5*time.Second); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	dmux := http.NewServeMux()
+	dmux.HandleFunc("/debug/pprof/", pprof.Index)
+	dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(os.Stderr, "pprof listening on %s\n", dln.Addr())
+	go func() {
+		if err := http.Serve(dln, dmux); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
+		}
+	}()
+	return nil
 }
 
 // serveUntilShutdown runs srv on ln until ctx is cancelled, then drains: it
@@ -191,17 +246,22 @@ func serveUntilShutdown(ctx context.Context, srv *http.Server, ln net.Listener, 
 		}
 	}()
 	err := srv.Serve(ln)
+	// install publishes s.wal under walMu while this goroutine is serving,
+	// so read it under the same lock.
+	s.walMu.Lock()
+	wlog := s.wal
+	s.walMu.Unlock()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		// Serve failed on its own: ctx may never be cancelled, so don't wait
 		// for the drain goroutine — just flush whatever the WAL holds.
-		if s.wal != nil {
-			s.wal.Close()
+		if wlog != nil {
+			wlog.Close()
 		}
 		return err
 	}
 	<-drained
-	if s.wal != nil {
-		if cerr := s.wal.Close(); cerr != nil {
+	if wlog != nil {
+		if cerr := wlog.Close(); cerr != nil {
 			return fmt.Errorf("wal close: %w", cerr)
 		}
 	}
@@ -394,6 +454,12 @@ type server struct {
 	kind    string
 	maxBody int64
 	started time.Time
+	// ready gates the index-backed routes: false until the initial build
+	// and WAL replay finish. install publishes sh/wal before flipping it,
+	// so a true load is also the acquire barrier for reading s.sh.
+	ready   atomic.Bool
+	metrics *serverMetrics
+	tracer  *tracer
 	queries atomic.Uint64
 	knn     atomic.Uint64
 	// batchShared counts batches answered by the shared-candidate processor,
@@ -419,14 +485,37 @@ type server struct {
 	walFatal func(err error)
 }
 
+// newServer constructs the server. With a non-nil index it is ready to
+// serve immediately (the test path); main passes nil so the listener can
+// come up first and calls install once the build and WAL replay finish.
 func newServer(sh *shard.Sharded, kind string) *server {
-	return &server{
+	s := &server{
 		sh: sh, kind: kind, maxBody: defaultMaxBody, started: time.Now(),
+		metrics: newServerMetrics(),
+		tracer:  newTracer(0, os.Stderr),
 		walFatal: func(err error) {
 			fmt.Fprintf(os.Stderr, "fatal: wal append failed after the mutation was applied: %v\n", err)
 			os.Exit(1)
 		},
 	}
+	s.registerCollectors()
+	if sh != nil {
+		s.ready.Store(true)
+	}
+	return s
+}
+
+// install publishes the built index (and recovered WAL) and flips the
+// server ready: the field writes happen before the atomic store, the gated
+// handlers' load happens before their reads, so no handler ever sees a
+// half-installed server.
+func (s *server) install(sh *shard.Sharded, wlog *wal.Log, replayed int) {
+	s.walMu.Lock()
+	s.sh = sh
+	s.wal = wlog
+	s.walReplayed = replayed
+	s.walMu.Unlock()
+	s.ready.Store(true)
 }
 
 // applyInsert applies an insert and, with durability on, logs it before the
@@ -504,16 +593,59 @@ func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /search", s.handleSearch)
-	mux.HandleFunc("POST /knn", s.handleKNN)
-	mux.HandleFunc("POST /insert", s.handleInsert)
-	mux.HandleFunc("POST /delete", s.handleDelete)
-	mux.HandleFunc("POST /update", s.handleUpdate)
-	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
-	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	gated := func(route string, h http.HandlerFunc) http.HandlerFunc {
+		return s.instrument(route, s.gate(h))
+	}
+	mux.HandleFunc("POST /search", gated("/search", s.handleSearch))
+	mux.HandleFunc("POST /knn", gated("/knn", s.handleKNN))
+	mux.HandleFunc("POST /insert", gated("/insert", s.handleInsert))
+	mux.HandleFunc("POST /delete", gated("/delete", s.handleDelete))
+	mux.HandleFunc("POST /update", gated("/update", s.handleUpdate))
+	mux.HandleFunc("GET /snapshot", gated("/snapshot", s.handleSnapshot))
+	mux.HandleFunc("POST /checkpoint", gated("/checkpoint", s.handleCheckpoint))
+	mux.HandleFunc("GET /stats", gated("/stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/trace", s.instrument("/debug/trace", s.handleDebugTrace))
 	return mux
+}
+
+// gate rejects index-backed requests until install has published the index:
+// 503 with Retry-After, the standard not-ready contract, instead of a nil
+// dereference mid-build.
+func (s *server) gate(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "index not ready: initial build or WAL replay in progress")
+			return
+		}
+		next(w, r)
+	}
+}
+
+// instrument wraps a route with the HTTP metrics (request/error counters by
+// status, in-flight gauge, latency histogram) and the per-request trace
+// (X-Request-ID propagation, span recording, /debug/trace ring, slow-query
+// log).
+func (s *server) instrument(route string, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tr := s.tracer.begin(route, w, r)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.metrics.inflight.Inc()
+		start := time.Now()
+		next(sw, r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, tr)))
+		dur := time.Since(start)
+		s.metrics.inflight.Dec()
+		code := strconv.Itoa(sw.status)
+		s.metrics.requests.With(route, code).Inc()
+		if sw.status >= 400 {
+			s.metrics.errors.With(route, code).Inc()
+		}
+		s.metrics.latency.With(route).Observe(dur.Seconds())
+		s.tracer.finish(tr, sw.status, dur)
+	}
 }
 
 // handleSnapshot streams the current collection as a persist v2 snapshot:
@@ -623,6 +755,8 @@ type searchResponse struct {
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	tr := traceFrom(r)
+	parseStart := time.Now()
 	var req searchRequest
 	if !s.decodeJSON(w, r, &req) {
 		return
@@ -670,13 +804,22 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	tr.addStage("parse", time.Since(parseStart))
+	traceTheta := req.Theta
+	if req.Thetas != nil {
+		traceTheta = req.Thetas[0]
+	}
+	tr.setQueryShape(traceTheta, len(queries), s.sh.K())
+
 	start := time.Now()
-	answers, mode, err := s.runSearch(req, queries)
+	answers, mode, err := s.runSearch(req, queries, tr)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "search: %v", err)
 		return
 	}
 	s.queries.Add(uint64(len(queries)))
+	respondStart := time.Now()
+	defer func() { tr.addStage("respond", time.Since(respondStart)) }()
 	resp := searchResponse{TookMicros: time.Since(start).Microseconds()}
 	if req.Query != nil {
 		resp.Count = len(answers[0])
@@ -694,8 +837,11 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // runSearch dispatches a validated /search request: uniform-threshold
 // batches go through the shared-candidate batch processor when the index
 // kind supports it, mixed-radius batches (and kinds without batch support)
-// fall back to independent per-query searches.
-func (s *server) runSearch(req searchRequest, queries []ranking.Ranking) ([][]ranking.Result, string, error) {
+// fall back to independent per-query searches. Single queries run through
+// the traced scatter-gather so the request trace records fan-out and merge
+// timings plus backend attribution; batch stages are recorded whole.
+func (s *server) runSearch(req searchRequest, queries []ranking.Ranking, tr *requestTrace) ([][]ranking.Result, string, error) {
+	planStart := time.Now()
 	theta, uniform := req.Theta, true
 	if req.Thetas != nil {
 		theta = req.Thetas[0]
@@ -706,20 +852,28 @@ func (s *server) runSearch(req searchRequest, queries []ranking.Ranking) ([][]ra
 			}
 		}
 	}
+	tr.addStage("plan", time.Since(planStart))
+	if req.Query != nil {
+		res, qt, err := s.sh.SearchTraced(queries[0], theta)
+		tr.addStageMicros("fanout", qt.FanoutMicros)
+		tr.addStageMicros("merge", qt.MergeMicros)
+		tr.setAttribution(qt.Backends, qt.DistanceCalls)
+		return [][]ranking.Result{res}, "per-query", err
+	}
+	searchStart := time.Now()
+	defer func() { tr.addStage("search", time.Since(searchStart)) }()
 	if !uniform {
 		s.batchSplit.Add(1)
 		res, err := s.sh.SearchBatchThetas(queries, req.Thetas)
 		return res, "per-query", err
 	}
-	if req.Query == nil && len(queries) > 1 {
+	if len(queries) > 1 {
 		if res, ok, err := s.sh.SearchBatchShared(queries, theta); ok {
 			s.batchShared.Add(1)
 			return res, "shared", err
 		}
 	}
-	if req.Query == nil {
-		s.batchSplit.Add(1)
-	}
+	s.batchSplit.Add(1)
 	res, err := s.sh.SearchBatch(queries, theta)
 	return res, "per-query", err
 }
@@ -739,6 +893,8 @@ type knnResponse struct {
 // handleKNN answers an exact k-nearest-neighbor query with the sharded
 // per-shard fan-out and (distance, id) heap merge.
 func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	tr := traceFrom(r)
+	parseStart := time.Now()
 	var req knnRequest
 	if !s.decodeJSON(w, r, &req) {
 		return
@@ -759,12 +915,15 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	tr.addStage("parse", time.Since(parseStart))
+	tr.setQueryShape(0, 1, s.sh.K())
 	start := time.Now()
 	res, err := s.sh.NearestNeighbors(req.Query, req.N)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "knn: %v", err)
 		return
 	}
+	tr.addStage("search", time.Since(start))
 	s.knn.Add(1)
 	writeJSON(w, http.StatusOK, knnResponse{
 		TookMicros: time.Since(start).Microseconds(),
@@ -920,6 +1079,11 @@ type statsResponse struct {
 	Rebuilds      uint64  `json:"rebuilds"`
 	DistanceCalls uint64  `json:"distanceCalls"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Fanout and Merge are the cross-shard phase histograms of every
+	// fanned-out search: scatter (dispatch until the slowest shard answers)
+	// and gather (concatenating per-shard answers).
+	Fanout shard.HistogramSnapshot `json:"fanout"`
+	Merge  shard.HistogramSnapshot `json:"merge"`
 	// Planner is the per-backend plan scoreboard of the hybrid engine,
 	// aggregated across shards; absent for single-backend kinds.
 	Planner []topk.PlanStats   `json:"planner,omitempty"`
@@ -962,6 +1126,7 @@ func aggregatePlanStats(sh *shard.Sharded) []topk.PlanStats {
 			}
 			a.Plans += st.Plans
 			a.Observations += st.Observations
+			a.Mispredicts += st.Mispredicts
 			weightLat[st.Backend] += float64(st.Observations) * st.EWMALatencyNanos
 			weightDFC[st.Backend] += float64(st.Observations) * st.EWMADistanceCalls
 		}
@@ -989,6 +1154,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.wal != nil {
 		ws = &walStatsJSON{Dir: s.wal.Dir(), Replayed: s.walReplayed, Stats: s.wal.Stats()}
 	}
+	fan, mrg := s.sh.Timings()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Index:         s.kind,
 		N:             s.sh.Len(),
@@ -1004,14 +1170,31 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rebuilds:      rebuilds,
 		DistanceCalls: s.sh.DistanceCalls(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		Fanout:        fan,
+		Merge:         mrg,
 		Planner:       aggregatePlanStats(s.sh),
 		Shards:        shards,
 		WAL:           ws,
 	})
 }
 
+// handleHealthz is pure liveness: 200 as long as the process serves HTTP,
+// regardless of index state. Use /readyz to gate traffic.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 503 until the initial index build
+// and WAL replay have finished, 200 after. Because main starts the listener
+// before building, a load balancer polling /readyz sees the server come up
+// and hold traffic until it can actually answer.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

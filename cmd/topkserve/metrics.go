@@ -1,0 +1,227 @@
+// Prometheus exposition for topkserve: GET /metrics renders every layer of
+// the stack — HTTP front end, shard router, hybrid planner, WAL — as one
+// text-exposition document.
+//
+// Two mechanisms keep the search hot path unaffected. The HTTP layer uses
+// static instruments (a few atomic operations per request, outside the
+// index code entirely). Everything below it reports through scrape-time
+// collectors: the collector callbacks pull the snapshots the layers already
+// maintain for GET /stats (shard.Stats, the planner scoreboard, wal.Stats)
+// and render them only when a scraper asks, so serving queries costs
+// nothing extra.
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"topk"
+	"topk/internal/shard"
+	"topk/internal/telemetry"
+)
+
+// serverMetrics bundles the registry and the HTTP-layer instruments.
+type serverMetrics struct {
+	reg      *telemetry.Registry
+	requests *telemetry.CounterVec // route, code
+	errors   *telemetry.CounterVec // route, code (4xx/5xx only)
+	inflight *telemetry.Gauge
+	latency  *telemetry.HistogramVec // route
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := telemetry.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+		requests: reg.CounterVec("topkserve_http_requests_total",
+			"HTTP requests served, by route and status code.", "route", "code"),
+		errors: reg.CounterVec("topkserve_http_errors_total",
+			"HTTP requests answered with a 4xx or 5xx status, by route and status code.", "route", "code"),
+		inflight: reg.Gauge("topkserve_http_requests_in_flight",
+			"HTTP requests currently being handled."),
+		latency: reg.HistogramVec("topkserve_http_request_duration_seconds",
+			"HTTP request latency, by route.", telemetry.DefLatencyBuckets, "route"),
+	}
+	telemetry.RegisterRuntime(reg)
+	return m
+}
+
+// registerCollectors wires the scrape-time side: server counters, shard
+// stats, planner scoreboard, rebuild history and WAL counters. Every
+// collector bails while the index is still building — the readiness load is
+// also the acquire barrier that makes s.sh safe to read (install publishes
+// it before ready flips).
+func (s *server) registerCollectors() {
+	r := s.metrics.reg
+	r.GaugeFunc("topkserve_ready",
+		"1 once the initial index build and WAL replay have finished, 0 before.",
+		func() float64 {
+			if s.ready.Load() {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("topkserve_uptime_seconds", "Seconds since process start.",
+		func() float64 { return time.Since(s.started).Seconds() })
+
+	r.Collect(func(w *telemetry.Writer) {
+		if !s.ready.Load() {
+			return
+		}
+		w.Counter("topkserve_queries_total", "Range queries served (batch members counted individually).", "",
+			float64(s.queries.Load()))
+		w.Counter("topkserve_knn_queries_total", "Exact k-nearest-neighbor queries served.", "",
+			float64(s.knn.Load()))
+		w.Counter("topkserve_batches_total", "Search batches served, by processing mode.",
+			telemetry.Labels("mode", "shared"), float64(s.batchShared.Load()))
+		w.Counter("topkserve_batches_total", "", telemetry.Labels("mode", "per_query"),
+			float64(s.batchSplit.Load()))
+		w.Counter("topkserve_mutations_total", "Acked insert/delete/update mutations.", "",
+			float64(s.mutations.Load()))
+		w.Gauge("topkserve_collection_size", "Live (non-tombstoned) rankings in the collection.", "",
+			float64(s.sh.Len()))
+		w.Gauge("topkserve_collection_k", "Ranking size (top-k list length) of the collection.", "",
+			float64(s.sh.K()))
+		w.Gauge("topkserve_shards", "Number of index shards.", "",
+			float64(s.sh.NumShards()))
+
+		stats := s.sh.Stats()
+		delta, tombstones := 0, 0
+		for _, st := range stats {
+			labels := telemetry.Labels("shard", strconv.Itoa(st.Shard))
+			w.Gauge("topkserve_shard_len", "Live rankings per shard.", labels, float64(st.Len))
+			w.Counter("topkserve_shard_distance_calls_total",
+				"Footrule evaluations per shard, cumulative.", labels, float64(st.DistanceCalls))
+			w.Histogram("topkserve_shard_query_duration_seconds",
+				"Per-shard query latency (single-query fan-out legs and whole shared batches).",
+				labels, shardHistToTelemetry(st.Latency))
+			delta += st.Delta
+			tombstones += st.Tombstones
+		}
+		fan, mrg := s.sh.Timings()
+		w.Histogram("topkserve_fanout_duration_seconds",
+			"Scatter phase of a fanned-out search: dispatch until the slowest shard answers.", "",
+			shardHistToTelemetry(fan))
+		w.Histogram("topkserve_merge_duration_seconds",
+			"Gather phase of a fanned-out search: concatenating per-shard answers.", "",
+			shardHistToTelemetry(mrg))
+		w.Gauge("topkserve_delta_overlay_size",
+			"Rankings in the hybrid mutation overlay awaiting the next epoch rebuild, summed over shards.", "",
+			float64(delta))
+		w.Gauge("topkserve_tombstones",
+			"Tombstoned rankings awaiting compaction, summed over shards.", "",
+			float64(tombstones))
+		if rb, ok := aggregateRebuildStats(s.sh); ok {
+			w.Counter("topkserve_epoch_rebuilds_total",
+				"Installed epoch rebuilds (background folds and explicit compactions), summed over shards.", "",
+				float64(rb.Rebuilds))
+			w.Counter("topkserve_epoch_rebuild_seconds_total",
+				"Cumulative wall time of installed epoch rebuilds.", "",
+				float64(rb.TotalNanos)/1e9)
+			w.Gauge("topkserve_epoch_rebuild_last_seconds",
+				"Wall time of the most recent installed epoch rebuild on any shard.", "",
+				float64(rb.LastNanos)/1e9)
+		}
+
+		for _, ps := range aggregatePlanStats(s.sh) {
+			labels := telemetry.Labels("backend", ps.Backend)
+			w.Counter("topkserve_planner_plans_total",
+				"Queries the hybrid planner routed to each backend.", labels, float64(ps.Plans))
+			w.Counter("topkserve_planner_observations_total",
+				"Measured executions fed back into the planner's cost model per backend.",
+				labels, float64(ps.Observations))
+			w.Counter("topkserve_planner_mispredicts_total",
+				"Observations that landed more than 2x over the planner's estimate.",
+				labels, float64(ps.Mispredicts))
+			w.Gauge("topkserve_planner_ewma_latency_seconds",
+				"Observation-weighted mean of the per-bucket latency EWMAs per backend.",
+				labels, ps.EWMALatencyNanos/1e9)
+			w.Gauge("topkserve_planner_ewma_distance_calls",
+				"Observation-weighted mean of the per-bucket distance-call EWMAs per backend.",
+				labels, ps.EWMADistanceCalls)
+		}
+
+		s.walMu.Lock()
+		wlog, replayed := s.wal, s.walReplayed
+		s.walMu.Unlock()
+		if wlog != nil {
+			st := wlog.Stats()
+			w.Counter("topkserve_wal_appends_total", "WAL records appended since open.", "",
+				float64(st.Appended))
+			w.Counter("topkserve_wal_appended_bytes_total", "WAL record bytes appended since open.", "",
+				float64(st.AppendedBytes))
+			w.Counter("topkserve_wal_synced_bytes_total",
+				"WAL record bytes known durable (appended minus the sync policy's loss window).", "",
+				float64(st.SyncedBytes))
+			w.Counter("topkserve_wal_syncs_total", "WAL fsync calls since open.", "",
+				float64(st.Syncs))
+			w.Counter("topkserve_wal_checkpoints_total", "WAL checkpoints written since open.", "",
+				float64(st.Checkpoints))
+			w.Gauge("topkserve_wal_active_segment", "Segment sequence currently appended to.", "",
+				float64(st.ActiveSegment))
+			w.Gauge("topkserve_wal_segments", "WAL segment files on disk.", "",
+				float64(st.Segments))
+			w.Gauge("topkserve_wal_last_checkpoint_time_seconds",
+				"Unix time of the last checkpoint written by this process, 0 if none.", "",
+				float64(st.LastCheckpointUnix))
+			w.Gauge("topkserve_wal_replayed_records",
+				"Log records replayed during startup recovery.", "",
+				float64(replayed))
+			w.Histogram("topkserve_wal_fsync_duration_seconds",
+				"Duration of WAL fsync calls.", "", st.FsyncLatency)
+		}
+	})
+}
+
+// shardHistToTelemetry converts a shard-layer µs-bucket snapshot into the
+// seconds-based exposition model. The shard histogram's final bucket
+// already absorbs overflow under a finite bound, so the +Inf bucket is
+// always empty.
+func shardHistToTelemetry(hs shard.HistogramSnapshot) telemetry.HistogramSnapshot {
+	bounds := make([]float64, len(hs.BucketBoundsMicros))
+	for i, b := range hs.BucketBoundsMicros {
+		bounds[i] = float64(b) / 1e6
+	}
+	counts := make([]uint64, len(bounds)+1)
+	copy(counts, hs.Buckets)
+	return telemetry.HistogramSnapshot{
+		Bounds: bounds,
+		Counts: counts,
+		Count:  hs.Count,
+		Sum:    hs.SumMicros / 1e6,
+	}
+}
+
+// rebuildStatser is implemented by hybrid sub-indices.
+type rebuildStatser interface{ RebuildStats() topk.RebuildStats }
+
+// aggregateRebuildStats sums the epoch-rebuild history across shards;
+// ok=false when the index kind keeps no rebuild history.
+func aggregateRebuildStats(sh *shard.Sharded) (topk.RebuildStats, bool) {
+	var out topk.RebuildStats
+	for i := 0; i < sh.NumShards(); i++ {
+		sub, _ := sh.Shard(i)
+		rs, ok := sub.(rebuildStatser)
+		if !ok {
+			return topk.RebuildStats{}, false
+		}
+		st := rs.RebuildStats()
+		out.Rebuilds += st.Rebuilds
+		out.TotalNanos += st.TotalNanos
+		if st.LastNanos > out.LastNanos {
+			out.LastNanos = st.LastNanos
+		}
+	}
+	return out, true
+}
+
+// handleMetrics renders the exposition document.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.reg.WritePrometheus(w); err != nil {
+		fmt.Fprintf(os.Stderr, "metrics write: %v\n", err)
+	}
+}

@@ -73,7 +73,9 @@ type HybridIndex struct {
 	calls atomic.Uint64
 	cfg   hybridConfig
 
-	rebuilds atomic.Uint64
+	rebuilds         atomic.Uint64
+	rebuildNanos     atomic.Uint64 // cumulative wall time of installed rebuilds
+	lastRebuildNanos atomic.Uint64
 	// rebuilding marks a background fold in flight; foldGen invalidates it
 	// when a synchronous Compact installs a fresher epoch first. oplog
 	// records the mutations applied since the in-flight fold's snapshot so
@@ -536,6 +538,15 @@ func (ep *hybridEpoch) overlayFraction() float64 {
 // overlay for static backends), and the observed latency and distance calls
 // refine the bucket's estimate for that backend.
 func (h *HybridIndex) Search(q Ranking, theta float64) ([]Result, error) {
+	res, _, _, err := h.SearchTraced(q, theta)
+	return res, err
+}
+
+// SearchTraced is Search plus per-query attribution: the name of the
+// backend the planner routed to and the Footrule evaluations the query
+// cost. It is the shard.TracedSearcher hook behind topkserve's query
+// tracing and slow-query log.
+func (h *HybridIndex) SearchTraced(q Ranking, theta float64) ([]Result, string, uint64, error) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	ep := h.ep
@@ -548,12 +559,12 @@ func (h *HybridIndex) Search(q Ranking, theta float64) ([]Result, error) {
 	// zero-overlap rankings at distance exactly dmax).
 	res, err := ep.backends[bi].SearchRaw(q, clampRawTheta(ranking.RawThreshold(theta, ep.k), ep.k), ev)
 	if err != nil {
-		return nil, err
+		return nil, "", 0, err
 	}
 	h.pl.Observe(bi, bucket, float64(time.Since(start).Nanoseconds()), ev.Calls())
 	h.calls.Add(ev.Calls())
 	ep.ids.remapSearch(res)
-	return res, nil
+	return res, ep.backends[bi].Name(), ev.Calls(), nil
 }
 
 // NearestNeighbors implements NearestNeighborSearcher. KNN queries route
@@ -630,6 +641,10 @@ type PlanStats struct {
 	EWMALatencyNanos float64 `json:"ewmaLatencyNanos"`
 	// EWMADistanceCalls is the same aggregate over distance calls per query.
 	EWMADistanceCalls float64 `json:"ewmaDistanceCalls"`
+	// Mispredicts counts observations that landed more than 2x over the
+	// planner's estimate current at observation time — how often the cost
+	// model was badly wrong about this backend.
+	Mispredicts uint64 `json:"mispredicts,omitempty"`
 }
 
 // PlanStats snapshots how often each backend was chosen and what it cost
@@ -644,6 +659,7 @@ func (h *HybridIndex) PlanStats() []PlanStats {
 			Observations:      s.Observations,
 			EWMALatencyNanos:  s.EWMALatencyNanos,
 			EWMADistanceCalls: s.EWMADistanceCalls,
+			Mispredicts:       s.Mispredicts,
 		}
 	}
 	return out
@@ -688,6 +704,27 @@ func (h *HybridIndex) Tombstones() int {
 // Rebuilds reports how many epoch rebuilds (background folds and explicit
 // Compact calls) have been installed since construction.
 func (h *HybridIndex) Rebuilds() uint64 { return h.rebuilds.Load() }
+
+// RebuildStats describes the epoch-rebuild history of a HybridIndex:
+// how many rebuilds were installed and the wall time they cost. Discarded
+// folds (build failure, superseded by Compact) are not counted.
+type RebuildStats struct {
+	// Rebuilds counts installed rebuilds (background folds + Compact).
+	Rebuilds uint64 `json:"rebuilds"`
+	// TotalNanos is the cumulative wall time from rebuild start to epoch
+	// install; LastNanos the most recent rebuild's.
+	TotalNanos uint64 `json:"totalNanos,omitempty"`
+	LastNanos  uint64 `json:"lastNanos,omitempty"`
+}
+
+// RebuildStats snapshots the rebuild counters.
+func (h *HybridIndex) RebuildStats() RebuildStats {
+	return RebuildStats{
+		Rebuilds:   h.rebuilds.Load(),
+		TotalNanos: h.rebuildNanos.Load(),
+		LastNanos:  h.lastRebuildNanos.Load(),
+	}
+}
 
 // Slots returns the external-id slot view of the collection: slots[id] is
 // the live ranking under id, nil for retired ids. Feed it to

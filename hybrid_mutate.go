@@ -21,6 +21,7 @@ package topk
 
 import (
 	"fmt"
+	"time"
 
 	"topk/internal/ranking"
 )
@@ -90,6 +91,7 @@ func (h *HybridIndex) Update(id ID, r Ranking) error {
 func (h *HybridIndex) Compact() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	start := time.Now()
 	ep, priors, err := buildEpoch(h.ep.slots(), h.cfg)
 	if err != nil {
 		return err
@@ -98,7 +100,7 @@ func (h *HybridIndex) Compact() error {
 	// bump the generation so its install is discarded.
 	h.foldGen++
 	h.oplog = nil
-	h.installEpochLocked(ep, priors)
+	h.installEpochLocked(ep, priors, time.Since(start))
 	return nil
 }
 
@@ -149,6 +151,7 @@ func (h *HybridIndex) maybeRebuildLocked() {
 // lock is taken only to replay the mutations logged meanwhile and swap the
 // epoch in. Queries keep being served from the old epoch throughout.
 func (h *HybridIndex) foldEpoch(slots []Ranking, gen uint64) {
+	start := time.Now()
 	ep, priors, err := buildEpoch(slots, h.cfg)
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -170,18 +173,21 @@ func (h *HybridIndex) foldEpoch(slots []Ranking, gen uint64) {
 		}
 	}
 	h.oplog = nil
-	h.installEpochLocked(ep, priors)
+	h.installEpochLocked(ep, priors, time.Since(start))
 }
 
 // installEpochLocked swaps the epoch in, re-seeds the planner's priors from
 // the rebuild's freshly fitted cost model (invalidating the per-bucket
 // EWMAs, which describe the previous epoch's structures), and re-prices the
-// overlay surcharge for whatever delta the replay left behind.
-func (h *HybridIndex) installEpochLocked(ep *hybridEpoch, priors map[string][]float64) {
+// overlay surcharge for whatever delta the replay left behind. dur is the
+// rebuild's wall time from snapshot to install.
+func (h *HybridIndex) installEpochLocked(ep *hybridEpoch, priors map[string][]float64, dur time.Duration) {
 	h.ep = ep
 	h.pl.Reseed(priorsFor(h.cfg.backends, priors))
 	h.chargeOverlayLocked()
 	h.rebuilds.Add(1)
+	h.rebuildNanos.Add(uint64(dur.Nanoseconds()))
+	h.lastRebuildNanos.Store(uint64(dur.Nanoseconds()))
 }
 
 // apply replays one logged mutation onto a rebuilt epoch. Replayed inserts

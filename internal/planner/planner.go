@@ -117,8 +117,9 @@ type Planner struct {
 	// for the EWMA to drift after the fact.
 	overlay []float64
 
-	forced atomic.Int32    // forced backend index, -1 = model-driven
-	plans  []atomic.Uint64 // queries routed per backend (range + KNN)
+	forced      atomic.Int32    // forced backend index, -1 = model-driven
+	plans       []atomic.Uint64 // queries routed per backend (range + KNN)
+	mispredicts []atomic.Uint64 // observations landing >2x over the estimate
 }
 
 // New creates a planner over the named backends. priors[b][bucket] is the
@@ -137,13 +138,14 @@ func New(names []string, priors [][]float64, cfg Config) (*Planner, error) {
 		return nil, fmt.Errorf("planner: %d prior curves for %d backends", len(priors), len(names))
 	}
 	p := &Planner{
-		names:   names,
-		cfg:     cfg,
-		priors:  make([][]float64, len(names)),
-		cells:   make([][]cell, len(names)),
-		seq:     make([]uint64, cfg.Buckets),
-		overlay: make([]float64, len(names)),
-		plans:   make([]atomic.Uint64, len(names)),
+		names:       names,
+		cfg:         cfg,
+		priors:      make([][]float64, len(names)),
+		cells:       make([][]cell, len(names)),
+		seq:         make([]uint64, cfg.Buckets),
+		overlay:     make([]float64, len(names)),
+		plans:       make([]atomic.Uint64, len(names)),
+		mispredicts: make([]atomic.Uint64, len(names)),
 	}
 	for b := range names {
 		p.cells[b] = make([]cell, cfg.Buckets)
@@ -312,7 +314,11 @@ func (p *Planner) Choose(bucket int) int {
 }
 
 // Observe feeds one executed query back into the model: latency in
-// nanoseconds and the distance calls it performed.
+// nanoseconds and the distance calls it performed. An observation landing
+// more than 2x over the cell's pre-update blended estimate counts as a
+// mispredict — the cost model's routing decision was made on an estimate
+// that turned out badly wrong — but only once the cell has prior
+// observations; a cold cell's first sample calibrates rather than judges.
 func (p *Planner) Observe(b, bucket int, nanos float64, dfc uint64) {
 	if b < 0 || b >= len(p.names) {
 		return
@@ -324,6 +330,9 @@ func (p *Planner) Observe(b, bucket int, nanos float64, dfc uint64) {
 	}
 	p.mu.Lock()
 	c := &p.cells[b][bucket]
+	if c.count > 0 && nanos > 2*p.estimate(b, bucket) {
+		p.mispredicts[b].Add(1)
+	}
 	if c.count == 0 {
 		c.ewmaNanos = nanos
 		c.ewmaDFC = float64(dfc)
@@ -350,6 +359,9 @@ type BackendStats struct {
 	// EWMADistanceCalls is the observation-weighted mean of the per-bucket
 	// DFC EWMAs.
 	EWMADistanceCalls float64 `json:"ewmaDistanceCalls"`
+	// Mispredicts counts observations that landed more than 2x over the
+	// blended estimate current at observation time.
+	Mispredicts uint64 `json:"mispredicts,omitempty"`
 }
 
 // Stats snapshots every backend's plan counter and blended observations.
@@ -357,7 +369,7 @@ func (p *Planner) Stats() []BackendStats {
 	out := make([]BackendStats, len(p.names))
 	p.mu.Lock()
 	for b, name := range p.names {
-		st := BackendStats{Name: name, Plans: p.plans[b].Load()}
+		st := BackendStats{Name: name, Plans: p.plans[b].Load(), Mispredicts: p.mispredicts[b].Load()}
 		var wNanos, wDFC float64
 		for _, c := range p.cells[b] {
 			st.Observations += c.count

@@ -55,16 +55,23 @@ func (h *Histogram) Observe(d time.Duration) {
 }
 
 // HistogramSnapshot is a point-in-time copy of a Histogram, with quantiles
-// estimated as the upper bound of the bucket containing the quantile rank
-// (an over-estimate by at most 2x, the bucket growth factor).
+// estimated by linear interpolation within the bucket containing the
+// quantile rank. BucketBoundsMicros[i] is the inclusive upper bound (µs) of
+// Buckets[i], so consumers need not hard-code the exponential 2^b µs
+// scheme; the final bucket additionally absorbs every observation beyond
+// the last bound.
 type HistogramSnapshot struct {
-	Count      uint64   `json:"count"`
-	MeanMicros float64  `json:"meanMicros"`
-	MaxMicros  float64  `json:"maxMicros"`
-	P50Micros  float64  `json:"p50Micros"`
-	P95Micros  float64  `json:"p95Micros"`
-	P99Micros  float64  `json:"p99Micros"`
-	Buckets    []uint64 `json:"buckets,omitempty"` // count per exponential µs bucket
+	Count      uint64  `json:"count"`
+	SumMicros  float64 `json:"sumMicros"`
+	MeanMicros float64 `json:"meanMicros"`
+	MaxMicros  float64 `json:"maxMicros"`
+	P50Micros  float64 `json:"p50Micros"`
+	P95Micros  float64 `json:"p95Micros"`
+	P99Micros  float64 `json:"p99Micros"`
+	// Buckets is the count per µs bucket; BucketBoundsMicros its upper
+	// bounds, element for element.
+	Buckets            []uint64 `json:"buckets,omitempty"`
+	BucketBoundsMicros []uint64 `json:"bucketBoundsMicros,omitempty"`
 }
 
 // Snapshot copies the histogram's counters. Concurrent Observes may land
@@ -74,7 +81,8 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if s.Count == 0 {
 		return s
 	}
-	s.MeanMicros = float64(h.sumNs.Load()) / float64(s.Count) / 1e3
+	s.SumMicros = float64(h.sumNs.Load()) / 1e3
+	s.MeanMicros = s.SumMicros / float64(s.Count)
 	s.MaxMicros = float64(h.maxNs.Load()) / 1e3
 	var bs [numBuckets]uint64
 	var total uint64
@@ -87,27 +95,40 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		}
 	}
 	s.Buckets = append([]uint64(nil), bs[:hi+1]...)
+	s.BucketBoundsMicros = make([]uint64, hi+1)
+	for i := range s.BucketBoundsMicros {
+		s.BucketBoundsMicros[i] = BucketBound(i)
+	}
 	s.P50Micros = quantile(bs[:], total, 0.50)
 	s.P95Micros = quantile(bs[:], total, 0.95)
 	s.P99Micros = quantile(bs[:], total, 0.99)
 	return s
 }
 
-// quantile returns the upper bound (µs) of the bucket holding rank q·total.
+// quantile estimates the q-quantile (µs) by locating the bucket holding
+// rank q·total and interpolating linearly between its bounds — a bucket
+// counting observations in (lo, hi] contributes evenly spread mass, so the
+// estimate lands inside the bucket instead of always at its upper bound.
 func quantile(bs []uint64, total uint64, q float64) float64 {
 	if total == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var cum uint64
+	rank := q * float64(total)
+	var cum float64
 	for i, c := range bs {
-		cum += c
-		if cum > rank {
-			return float64(BucketBound(i))
+		if c == 0 {
+			continue
 		}
+		if cum+float64(c) >= rank {
+			hi := float64(BucketBound(i))
+			lo := 0.0
+			if i > 0 {
+				lo = float64(BucketBound(i - 1))
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += float64(c)
 	}
 	return float64(BucketBound(len(bs) - 1))
 }

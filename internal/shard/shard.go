@@ -70,6 +70,8 @@ type Sharded struct {
 	offsets []ranking.ID // global ID of shard i's first ranking
 	sizes   []int        // initial slot count of shard i (id-range width)
 	hists   []*Histogram // per-shard query latency
+	fanout  Histogram    // scatter phase: dispatch until the slowest shard answers
+	merge   Histogram    // gather phase: concatenating per-shard answers
 	k       int
 	// snapMu is the cross-shard consistency point of Slots: mutations hold
 	// it shared (they still run concurrently, serialized only within their
@@ -301,6 +303,7 @@ func (s *Sharded) Shard(i int) (Index, ranking.ID) { return s.shards[i], s.offse
 func (s *Sharded) Search(q ranking.Ranking, theta float64) ([]ranking.Result, error) {
 	parts := make([][]ranking.Result, len(s.shards))
 	errs := make([]error, len(s.shards))
+	fanStart := time.Now()
 	var wg sync.WaitGroup
 	for i := 1; i < len(s.shards); i++ {
 		wg.Add(1)
@@ -311,6 +314,9 @@ func (s *Sharded) Search(q ranking.Ranking, theta float64) ([]ranking.Result, er
 	}
 	parts[0], errs[0] = s.searchShard(0, q, theta) // shard 0 on the caller's goroutine
 	wg.Wait()
+	s.fanout.Observe(time.Since(fanStart))
+	mergeStart := time.Now()
+	defer func() { s.merge.Observe(time.Since(mergeStart)) }()
 	total := 0
 	for i := range errs {
 		if errs[i] != nil {
@@ -425,6 +431,7 @@ func (s *Sharded) SearchBatchShared(queries []ranking.Ranking, theta float64) (r
 	}
 	parts := make([][][]ranking.Result, len(s.shards))
 	errs := make([]error, len(s.shards))
+	fanStart := time.Now()
 	var wg sync.WaitGroup
 	for i := 1; i < len(s.shards); i++ {
 		wg.Add(1)
@@ -435,6 +442,9 @@ func (s *Sharded) SearchBatchShared(queries []ranking.Ranking, theta float64) (r
 	}
 	parts[0], errs[0] = s.batchShard(0, batchers[0], queries, theta)
 	wg.Wait()
+	s.fanout.Observe(time.Since(fanStart))
+	mergeStart := time.Now()
+	defer func() { s.merge.Observe(time.Since(mergeStart)) }()
 	for i, err := range errs {
 		if err != nil {
 			return nil, true, fmt.Errorf("shard %d: %w", i, err)
@@ -492,6 +502,13 @@ type ShardStats struct {
 	Rebuilds      uint64            `json:"rebuilds,omitempty"`
 	DistanceCalls uint64            `json:"distanceCalls"`
 	Latency       HistogramSnapshot `json:"latency"`
+}
+
+// Timings snapshots the cross-shard phase histograms: fanout covers the
+// scatter phase of Search/SearchBatchShared (dispatch until the slowest
+// shard answers), merge the gather phase (concatenating per-shard answers).
+func (s *Sharded) Timings() (fanout, merge HistogramSnapshot) {
+	return s.fanout.Snapshot(), s.merge.Snapshot()
 }
 
 // Stats snapshots every shard's live size, tombstone backlog, delta-overlay

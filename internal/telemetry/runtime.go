@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"runtime"
+)
+
+// RegisterRuntime adds a scrape-time collector for the Go runtime: memory,
+// GC and scheduler statistics under the conventional go_* names. The
+// runtime.ReadMemStats stop-the-world pause happens per scrape, never on a
+// request path.
+func RegisterRuntime(r *Registry) {
+	r.Collect(func(w *Writer) {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		w.Gauge("go_goroutines", "Number of goroutines that currently exist.", "",
+			float64(runtime.NumGoroutine()))
+		w.Gauge("go_gomaxprocs", "Value of GOMAXPROCS.", "",
+			float64(runtime.GOMAXPROCS(0)))
+		w.Counter("go_memstats_alloc_bytes_total", "Total bytes allocated for heap objects, cumulative.", "",
+			float64(m.TotalAlloc))
+		w.Gauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", "",
+			float64(m.HeapAlloc))
+		w.Gauge("go_memstats_heap_objects", "Number of allocated heap objects.", "",
+			float64(m.HeapObjects))
+		w.Gauge("go_memstats_sys_bytes", "Total bytes of memory obtained from the OS.", "",
+			float64(m.Sys))
+		w.Gauge("go_memstats_next_gc_bytes", "Heap size target of the next GC cycle.", "",
+			float64(m.NextGC))
+		w.Counter("go_gc_cycles_total", "Completed GC cycles.", "",
+			float64(m.NumGC))
+		w.Counter("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", "",
+			float64(m.PauseTotalNs)/1e9)
+		w.Gauge("go_memstats_last_gc_time_seconds", "Unix time of the last garbage collection.", "",
+			float64(m.LastGC)/1e9)
+	})
+}

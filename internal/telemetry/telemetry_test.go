@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	g := r.Gauge("test_temperature", "Degrees.")
+	c.Add(41)
+	c.Inc()
+	g.Set(1.5)
+	g.Add(-0.25)
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.\n",
+		"# TYPE test_ops_total counter\n",
+		"test_ops_total 42\n",
+		"# TYPE test_temperature gauge\n",
+		"test_temperature 1.25\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecChildrenAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_requests_total", "Requests.", "route", "code")
+	v.With("/search", "200").Add(3)
+	v.With("/search", "400").Inc()
+	v.With(`/we"ird\path`+"\n", "200").Inc()
+	if got := v.With("/search", "200").Value(); got != 3 {
+		t.Fatalf("child lookup not cached: %d", got)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`test_requests_total{route="/search",code="200"} 3`,
+		`test_requests_total{route="/search",code="400"} 1`,
+		`test_requests_total{route="/we\"ird\\path\n",code="200"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE test_requests_total counter") != 1 {
+		t.Errorf("family header not deduped:\n%s", out)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 0.2, 0.4})
+	for _, v := range []float64{0.05, 0.1, 0.15, 0.3, 9} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`test_latency_seconds_bucket{le="0.1"} 2`, // 0.05 and the boundary 0.1
+		`test_latency_seconds_bucket{le="0.2"} 3`,
+		`test_latency_seconds_bucket{le="0.4"} 4`,
+		`test_latency_seconds_bucket{le="+Inf"} 5`,
+		`test_latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || math.Abs(s.Sum-9.6) > 1e-9 {
+		t.Fatalf("snapshot count=%d sum=%v", s.Count, s.Sum)
+	}
+}
+
+func TestHistogramQuantileInterpolates(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40})
+	// 10 observations in (10, 20].
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	s := h.Snapshot()
+	q := s.Quantile(0.5)
+	if q <= 10 || q >= 20 {
+		t.Fatalf("median %v outside winning bucket (10, 20)", q)
+	}
+	if math.Abs(q-15) > 5 {
+		t.Fatalf("median %v, want near bucket midpoint", q)
+	}
+	// Overflow observations are credited to the last finite bound.
+	h2 := NewHistogram([]float64{10})
+	h2.Observe(99)
+	if got := h2.Snapshot().Quantile(0.99); got != 10 {
+		t.Fatalf("overflow quantile %v, want 10", got)
+	}
+}
+
+func TestGaugeFuncAndCollector(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("test_dynamic", "Pulled at scrape.", func() float64 { return 7 })
+	r.Collect(func(w *Writer) {
+		w.Counter("test_collected_total", "From a collector.", Labels("shard", "3"), 11)
+		w.Histogram("test_collected_seconds", "Hist from a collector.", "",
+			HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{2, 1}, Count: 3, Sum: 4.5})
+	})
+	out := render(t, r)
+	for _, want := range []string{
+		"test_dynamic 7",
+		`test_collected_total{shard="3"} 11`,
+		`test_collected_seconds_bucket{le="1"} 2`,
+		`test_collected_seconds_bucket{le="+Inf"} 3`,
+		"test_collected_seconds_sum 4.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_c_total", "")
+	g := r.Gauge("test_g", "")
+	h := r.Histogram("test_h", "", ExpBuckets(1, 2, 8))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 300))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Fatalf("gauge %v, want 8000", g.Value())
+	}
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("histogram count %d, want 8000", s.Count)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("test_dup_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("bad-name", "")
+}

@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"topk/internal/ranking"
+	"topk/internal/telemetry"
 )
 
 const (
@@ -146,6 +147,9 @@ type Stats struct {
 	// LastCheckpointUnix is the wall-clock second of the last checkpoint
 	// written by this process, 0 if none.
 	LastCheckpointUnix int64 `json:"lastCheckpointUnix,omitempty"`
+	// FsyncLatency is the distribution of fsync durations (seconds) since
+	// Open — the dominant term of synchronous-commit append latency.
+	FsyncLatency telemetry.HistogramSnapshot `json:"fsyncLatency"`
 }
 
 // Log is an open WAL directory accepting appends. All methods are safe for
@@ -175,6 +179,7 @@ type Log struct {
 	syncs         uint64
 	checkpoints   uint64
 	lastCp        int64
+	fsyncHist     *telemetry.Histogram // fsync duration, seconds
 
 	stopFlush chan struct{}
 	flushDone chan struct{}
@@ -199,7 +204,11 @@ func Open(dir string, opts ...Option) (*Log, error) {
 	if n := len(cps); n > 0 && cps[n-1]+1 > next {
 		next = cps[n-1] + 1
 	}
-	l := &Log{dir: dir, syncEvery: 1, seq: next, segments: len(segs) + 1}
+	l := &Log{
+		dir: dir, syncEvery: 1, seq: next, segments: len(segs) + 1,
+		// 10µs..~160ms: spans page-cache-only fsyncs through spinning rust.
+		fsyncHist: telemetry.NewHistogram(telemetry.ExpBuckets(10e-6, 2, 15)),
+	}
 	for _, o := range opts {
 		o(l)
 	}
@@ -383,7 +392,10 @@ func (l *Log) syncLocked() error {
 		l.syncErr = err
 		return err
 	}
-	if err := l.f.Sync(); err != nil {
+	start := time.Now()
+	err := l.f.Sync()
+	l.fsyncHist.Observe(time.Since(start).Seconds())
+	if err != nil {
 		l.syncErr = err
 		return err
 	}
@@ -557,5 +569,6 @@ func (l *Log) Stats() Stats {
 		Syncs:              l.syncs,
 		Checkpoints:        l.checkpoints,
 		LastCheckpointUnix: l.lastCp,
+		FsyncLatency:       l.fsyncHist.Snapshot(),
 	}
 }
