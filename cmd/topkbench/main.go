@@ -35,6 +35,14 @@
 // interval flush, none) plus search latency against a concurrent durable
 // mutation stream, with the no-WAL baseline alongside; -json writes the
 // records machine-readably.
+//
+// The overload experiment (also not from the paper) fires an open-loop
+// query flood at several times the index's calibrated sustainable rate,
+// once through topkserve's admission-control path (bounded concurrency +
+// bounded queue, excess shed as 429s would be) and once unbounded. The
+// records prove the traffic-hardening claim: with admission the accepted
+// requests keep a bounded tail latency while the excess is shed
+// explicitly; -json writes the two records (BENCH_overload.json).
 package main
 
 import (
@@ -51,7 +59,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id: fig3|fig5|fig6|fig7|tab5|fig8|fig9|fig10|tab6|stats|parallel|sweep|rebuild|wal|all")
+		experiment = flag.String("experiment", "all", "experiment id: fig3|fig5|fig6|fig7|tab5|fig8|fig9|fig10|tab6|stats|parallel|sweep|rebuild|wal|overload|all")
 		scaleName  = flag.String("scale", "small", "dataset scale: small|medium|default")
 		k          = flag.Int("k", 10, "ranking size for the single-k experiments")
 		parallel   = flag.Bool("parallel", false, "shorthand for -experiment parallel (multicore throughput)")
@@ -80,16 +88,17 @@ func main() {
 	}
 	if *jsonPath != "" {
 		// -json implies the sweep unless an experiment that writes its own
-		// JSON records (sweep, wal) is already selected; selecting both with
-		// one output path would overwrite the first's records.
+		// JSON records (sweep, wal, overload) is already selected; selecting
+		// more than one with a single output path would overwrite the
+		// earlier records.
 		writers := 0
 		for _, id := range ids {
-			if id := strings.TrimSpace(id); id == "sweep" || id == "wal" {
+			if id := strings.TrimSpace(id); id == "sweep" || id == "wal" || id == "overload" {
 				writers++
 			}
 		}
 		if writers > 1 {
-			fmt.Fprintln(os.Stderr, "-json with both sweep and wal would overwrite one set of records; run them separately")
+			fmt.Fprintln(os.Stderr, "-json with more than one of sweep/wal/overload would overwrite records; run them separately")
 			os.Exit(2)
 		}
 		if writers == 0 {
@@ -107,6 +116,11 @@ func main() {
 		case "wal":
 			if err := runWAL(sc, *k, *jsonPath); err != nil {
 				fmt.Fprintf(os.Stderr, "experiment wal: %v\n", err)
+				os.Exit(1)
+			}
+		case "overload":
+			if err := runOverload(sc, *k, *jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "experiment overload: %v\n", err)
 				os.Exit(1)
 			}
 		default:
@@ -149,6 +163,36 @@ func runWAL(sc bench.Scale, k int, jsonPath string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d wal records to %s\n", len(recs), jsonPath)
+	return nil
+}
+
+// runOverload floods a sharded coarse index past its sustainable rate with
+// and without admission control and optionally writes the two records as
+// JSON (the BENCH_overload.json artifact).
+func runOverload(sc bench.Scale, k int, jsonPath string) error {
+	nyt, _, err := bench.Envs(sc, k)
+	if err != nil {
+		return err
+	}
+	recs, t, err := bench.Overload(nyt, bench.OverloadConfig{})
+	if err != nil {
+		return err
+	}
+	t.Fprint(os.Stdout)
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d overload records to %s\n", len(recs), jsonPath)
 	return nil
 }
 

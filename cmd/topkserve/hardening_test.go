@@ -1,0 +1,357 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"topk/internal/admit"
+	"topk/internal/dataset"
+	"topk/internal/qcache"
+	"topk/internal/ranking"
+	"topk/internal/shard"
+)
+
+// TestClientCancellationAnswers499 sends a search whose request context is
+// already dead — the handler must map it to the 499 client-closed-request
+// status, not a 500, and must not run the query.
+func TestClientCancellationAnswers499(t *testing.T) {
+	srv, _, qs := testServer(t)
+	h := srv.routes()
+	before := srv.sh.DistanceCalls()
+
+	b, err := json.Marshal(map[string]any{"query": qs[0], "theta": 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader(b)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("status %d, want 499 (%s)", rec.Code, rec.Body)
+	}
+	if got := srv.sh.DistanceCalls(); got != before {
+		t.Fatalf("canceled request still evaluated %d distances", got-before)
+	}
+}
+
+// TestDefaultTimeoutAnswers504 pins the -default-timeout contract: a blown
+// deadline is 504 Gateway Timeout on /search and /knn.
+func TestDefaultTimeoutAnswers504(t *testing.T) {
+	srv, _, qs := testServer(t)
+	srv.defaultTimeout = time.Nanosecond // expired before the fan-out starts
+	h := srv.routes()
+
+	if rec := postSearch(t, h, map[string]any{"query": qs[0], "theta": 0.2}); rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("search status %d, want 504 (%s)", rec.Code, rec.Body)
+	}
+	if rec := postSearch(t, h, map[string]any{"queries": qs, "theta": 0.2}); rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("batch status %d, want 504 (%s)", rec.Code, rec.Body)
+	}
+	b, err := json.Marshal(map[string]any{"query": qs[0], "n": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := post(t, h, "/knn", string(b))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("knn status %d, want 504 (%s)", rec.Code, rec.Body)
+	}
+}
+
+// TestOverloadAnswers429WithRetryAfter fills the admission semaphore and
+// verifies the shed contract: 429 Too Many Requests with a Retry-After
+// header while the server is saturated, normal service once it drains.
+func TestOverloadAnswers429WithRetryAfter(t *testing.T) {
+	srv, _, qs := testServer(t)
+	srv.admission = admit.New(1, 0, time.Second) // one slot, no queue
+	h := srv.routes()
+
+	release, err := srv.admission.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := postSearch(t, h, map[string]any{"query": qs[0], "theta": 0.2})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated status %d, want 429 (%s)", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	st := srv.admission.Stats()
+	if st.ShedQueueFull == 0 {
+		t.Fatalf("shed not accounted: %+v", st)
+	}
+
+	release()
+	if rec := postSearch(t, h, map[string]any{"query": qs[0], "theta": 0.2}); rec.Code != http.StatusOK {
+		t.Fatalf("post-drain status %d, want 200 (%s)", rec.Code, rec.Body)
+	}
+}
+
+// TestQueuedRequestTimesOutWith429 exercises the wait-timeout shed reason:
+// with a queue slot available but the semaphore held past -max-queue-wait,
+// the queued request gives up with 429.
+func TestQueuedRequestTimesOutWith429(t *testing.T) {
+	srv, _, qs := testServer(t)
+	srv.admission = admit.New(1, 4, 5*time.Millisecond)
+	h := srv.routes()
+	release, err := srv.admission.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	rec := postSearch(t, h, map[string]any{"query": qs[0], "theta": 0.2})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("queued-timeout status %d, want 429 (%s)", rec.Code, rec.Body)
+	}
+	if st := srv.admission.Stats(); st.ShedTimeout == 0 {
+		t.Fatalf("wait-timeout shed not accounted: %+v", st)
+	}
+}
+
+// TestPanicRecoveredInto500 pins the instrument satellite fix: a panicking
+// handler is answered with 500 and the in-flight gauge comes back to zero
+// instead of leaking.
+func TestPanicRecoveredInto500(t *testing.T) {
+	srv, _, _ := testServer(t)
+	h := srv.instrument("/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	if v := srv.metrics.inflight.Value(); v != 0 {
+		t.Fatalf("in-flight gauge leaked: %v", v)
+	}
+	// The failure is counted and traced like any other request.
+	traces := srv.tracer.recent()
+	if len(traces) == 0 || traces[0].Status != http.StatusInternalServerError {
+		t.Fatalf("panicking request left no 500 trace: %+v", traces)
+	}
+}
+
+// TestTrailingGarbageRejected pins the decodeJSON satellite fix: exactly one
+// JSON value per body — trailing garbage is 400, trailing whitespace fine.
+func TestTrailingGarbageRejected(t *testing.T) {
+	srv, _, qs := testServer(t)
+	h := srv.routes()
+	q, err := json.Marshal(qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := fmt.Sprintf(`{"query":%s,"theta":0.2}`, q)
+	for _, c := range []struct {
+		name, body string
+		want       int
+	}{
+		{"trailing whitespace", good + " \n\t ", http.StatusOK},
+		{"second JSON value", good + `{"theta":0.1}`, http.StatusBadRequest},
+		{"trailing garbage", good + "garbage", http.StatusBadRequest},
+		{"trailing garbage on mutation", `{"id":1}x`, http.StatusBadRequest},
+	}[:] {
+		path := "/search"
+		if strings.HasPrefix(c.body, `{"id"`) {
+			path = "/delete"
+		}
+		if rec := post(t, h, path, c.body); rec.Code != c.want {
+			t.Fatalf("%s: status %d, want %d (%s)", c.name, rec.Code, c.want, rec.Body)
+		}
+	}
+}
+
+// freshRanking returns a valid k=10 ranking whose items collide with nothing
+// else in the workload (item space far above the generated collections).
+func freshRanking(i int) string {
+	items := make([]string, 10)
+	for j := range items {
+		items[j] = fmt.Sprint(1_000_000 + i*16 + j)
+	}
+	return "[" + strings.Join(items, ",") + "]"
+}
+
+// TestCacheDifferentialUnderMutations runs an identical ~1k-op interleaved
+// search/mutation workload against a cached and an uncached server over the
+// same collection and requires byte-identical search answers throughout —
+// the cache must be invisible except for speed. Afterwards the cache must
+// show both hits (it worked) and generation invalidations (it noticed every
+// mutation).
+func TestCacheDifferentialUnderMutations(t *testing.T) {
+	cached, _, qs := testServer(t)
+	cached.cache = qcache.New(256)
+	plain, _, _ := testServer(t)
+	hc, hp := cached.routes(), plain.routes()
+
+	rng := rand.New(rand.NewSource(42))
+	inserted := []ranking.ID{}
+	for i := 0; i < 1000; i++ {
+		var path, body string
+		switch i % 10 {
+		case 0:
+			path, body = "/insert", fmt.Sprintf(`{"ranking":%s}`, freshRanking(i))
+		case 5:
+			path, body = "/update", fmt.Sprintf(`{"id":%d,"ranking":%s}`, rng.Intn(400), freshRanking(i))
+		case 7:
+			if len(inserted) == 0 {
+				continue
+			}
+			id := inserted[0]
+			inserted = inserted[1:]
+			path, body = "/delete", fmt.Sprintf(`{"id":%d}`, id)
+		default:
+			q, err := json.Marshal(qs[rng.Intn(3)])
+			if err != nil {
+				t.Fatal(err)
+			}
+			path, body = "/search", fmt.Sprintf(`{"query":%s,"theta":0.2}`, q)
+		}
+		rc, rp := post(t, hc, path, body), post(t, hp, path, body)
+		if rc.Code != rp.Code {
+			t.Fatalf("op %d %s: cached %d vs uncached %d (%s / %s)", i, path, rc.Code, rp.Code, rc.Body, rp.Body)
+		}
+		if rc.Code != http.StatusOK {
+			t.Fatalf("op %d %s: status %d (%s)", i, path, rc.Code, rc.Body)
+		}
+		switch path {
+		case "/insert":
+			var mr mutateResponse
+			if err := json.Unmarshal(rc.Body.Bytes(), &mr); err != nil {
+				t.Fatal(err)
+			}
+			inserted = append(inserted, mr.ID)
+		case "/search":
+			var a, b searchResponse
+			if err := json.Unmarshal(rc.Body.Bytes(), &a); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(rp.Body.Bytes(), &b); err != nil {
+				t.Fatal(err)
+			}
+			ab, err := json.Marshal(a.Results)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bb, err := json.Marshal(b.Results)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ab, bb) || a.Count != b.Count {
+				t.Fatalf("op %d: cached answer diverges\n  cached: %s\nuncached: %s", i, ab, bb)
+			}
+		}
+	}
+	st := cached.cache.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("workload produced no cache hits: %+v", st)
+	}
+	if st.Invalidations == 0 {
+		t.Fatalf("1k mutations invalidated nothing: %+v", st)
+	}
+}
+
+// TestCacheInvalidatedByEpochRebuild pins the generation stamp's second
+// component: an installed epoch rebuild (here an explicit compaction on a
+// hybrid index) must invalidate cached entries even though the mutation
+// counter did not move.
+func TestCacheInvalidatedByEpochRebuild(t *testing.T) {
+	rs, err := dataset.Generate(dataset.NYTLike(200, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := shard.New(rs, 2, builderFor("hybrid", 0.3, "", 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(sh, "hybrid")
+	srv.cache = qcache.New(64)
+	h := srv.routes()
+
+	q, err := json.Marshal(rs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"query":%s,"theta":0.1}`, q)
+	post(t, h, "/search", body)
+	post(t, h, "/search", body)
+	if st := srv.cache.Stats(); st.Hits == 0 {
+		t.Fatalf("repeat query missed the cache: %+v", st)
+	}
+
+	genBefore := srv.generation()
+	if err := sh.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Rebuilds() == 0 {
+		t.Fatal("compaction installed no epoch rebuild")
+	}
+	if srv.generation() == genBefore {
+		t.Fatal("epoch rebuild did not move the cache generation")
+	}
+	invBefore := srv.cache.Stats().Invalidations
+	post(t, h, "/search", body)
+	if st := srv.cache.Stats(); st.Invalidations == invBefore {
+		t.Fatalf("stale entry served after epoch rebuild: %+v", st)
+	}
+}
+
+// TestHardeningMetricFamiliesExposed asserts the new admission and cache
+// metric families appear on /metrics once the features are enabled.
+func TestHardeningMetricFamiliesExposed(t *testing.T) {
+	srv, _, qs := testServer(t)
+	srv.admission = admit.New(4, 8, time.Second)
+	srv.cache = qcache.New(64)
+	h := srv.routes()
+	postSearch(t, h, map[string]any{"query": qs[0], "theta": 0.2})
+	postSearch(t, h, map[string]any{"query": qs[0], "theta": 0.2})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, family := range []string{
+		"topkserve_admission_admitted_total",
+		`topkserve_admission_shed_total{reason="queue_full"}`,
+		`topkserve_admission_shed_total{reason="wait_timeout"}`,
+		`topkserve_admission_shed_total{reason="canceled"}`,
+		"topkserve_admission_capacity",
+		"topkserve_admission_in_use",
+		"topkserve_admission_queue_depth",
+		"topkserve_admission_queue_wait_seconds",
+		"topkserve_cache_hits_total",
+		"topkserve_cache_misses_total",
+		"topkserve_cache_invalidations_total",
+		"topkserve_cache_evictions_total",
+		"topkserve_cache_entries",
+	} {
+		if !strings.Contains(body, family) {
+			t.Fatalf("metrics exposition missing %s", family)
+		}
+	}
+	// The two identical searches must register as one miss, one hit.
+	var stats statsResponse
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Admission == nil || stats.Admission.Admitted < 2 {
+		t.Fatalf("admission stats absent or wrong on /stats: %+v", stats.Admission)
+	}
+	if stats.Cache == nil || stats.Cache.Hits != 1 || stats.Cache.Misses != 1 {
+		t.Fatalf("cache stats absent or wrong on /stats: %+v", stats.Cache)
+	}
+}

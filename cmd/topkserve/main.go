@@ -41,6 +41,16 @@
 // stderr as one-line JSON; -debug-addr starts a separate net/http/pprof
 // listener for live profiling.
 //
+// Traffic hardening: request contexts propagate into the shard fan-out, so
+// a client that disconnects (or a -default-timeout that fires) stops the
+// search from scheduling further shard work — cancellation answers 499,
+// timeouts 504. -max-concurrency bounds concurrent search weight (one unit
+// per batch member) with a FIFO wait queue (-max-queue, -max-queue-wait);
+// past it requests are shed with 429 + Retry-After instead of collapsing
+// latency for everyone. -cache-entries enables an LRU result cache for
+// single /search queries and /knn, invalidated wholesale by any acked
+// mutation or epoch rebuild via a generation stamp.
+//
 // The hybrid kind (-kind hybrid) builds every physical backend per shard
 // and routes each query to the one the cost model predicts cheapest;
 // -force-backend pins routing and -calibrate replays sample queries against
@@ -84,6 +94,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -92,7 +104,9 @@ import (
 	"time"
 
 	"topk"
+	"topk/internal/admit"
 	"topk/internal/persist"
+	"topk/internal/qcache"
 	"topk/internal/ranking"
 	"topk/internal/shard"
 	"topk/internal/wal"
@@ -115,6 +129,11 @@ func main() {
 		walIvl     = flag.Duration("wal-sync-interval", 0, "background WAL fsync interval (0 disables; combines with -wal-sync-every)")
 		slowQuery  = flag.Duration("slow-query", 0, "log any request at least this slow to stderr as one-line JSON with per-stage timings (0 disables)")
 		debugAddr  = flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty disables)")
+		defTimeout = flag.Duration("default-timeout", 0, "per-request deadline on /search and /knn: past it the shard fan-out stops scheduling work and the client gets 504 (0 disables)")
+		maxConc    = flag.Int("max-concurrency", 0, "admission control: concurrent search weight bound, one unit per batch member (0 = 2x GOMAXPROCS, negative disables admission control entirely)")
+		maxQueue   = flag.Int("max-queue", 0, "admission control: requests allowed to wait for a search slot before shedding with 429 (0 = 4x effective -max-concurrency)")
+		maxWait    = flag.Duration("max-queue-wait", time.Second, "admission control: longest a queued request waits for a slot before shedding with 429 (0 = wait as long as the request's own deadline allows)")
+		cacheSize  = flag.Int("cache-entries", 0, "query-result cache capacity in entries for /search single queries and /knn; any acked mutation or epoch rebuild invalidates (0 disables)")
 	)
 	flag.StringVar(kind, "index", *kind, "deprecated alias for -kind")
 	flag.Parse()
@@ -136,6 +155,9 @@ func main() {
 	s := newServer(nil, *kind)
 	s.maxBody = *maxBody
 	s.tracer.slowQuery = *slowQuery
+	s.defaultTimeout = *defTimeout
+	s.admission = newAdmission(*maxConc, *maxQueue, *maxWait)
+	s.cache = qcache.New(*cacheSize)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -204,6 +226,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// newAdmission resolves the admission-control flags into a controller.
+// maxConc < 0 disables admission entirely (nil controller admits everything);
+// 0 defaults to twice GOMAXPROCS — enough to keep every core busy through
+// the fan-out while bounding memory and tail latency. maxQueue 0 defaults to
+// four waiters per slot.
+func newAdmission(maxConc, maxQueue int, maxWait time.Duration) *admit.Controller {
+	if maxConc < 0 {
+		return nil
+	}
+	if maxConc == 0 {
+		maxConc = 2 * runtime.GOMAXPROCS(0)
+	}
+	if maxQueue == 0 {
+		maxQueue = 4 * maxConc
+	}
+	return admit.New(int64(maxConc), maxQueue, maxWait)
 }
 
 // serveDebug starts the pprof listener: a separate address so profiling is
@@ -468,6 +508,14 @@ type server struct {
 	batchSplit  atomic.Uint64
 	mutations   atomic.Uint64
 
+	// defaultTimeout bounds every /search and /knn request; admission bounds
+	// their concurrency (nil = unbounded); cache serves repeated single
+	// queries without touching the shards (nil = disabled). The cache is
+	// generation-validated: see (*server).generation.
+	defaultTimeout time.Duration
+	admission      *admit.Controller
+	cache          *qcache.Cache
+
 	// wal, when non-nil, makes mutations durable: each handler applies the
 	// mutation and appends its record under walMu — one lock for both steps,
 	// so the log order always equals the apply order (two concurrent inserts
@@ -573,12 +621,19 @@ func (s *server) applyUpdate(id ranking.ID, r ranking.Ranking) error {
 
 // decodeJSON parses a request body bounded by the -max-body limit; a false
 // return means the error response was already written — 413 when the body
-// exceeded the limit, 400 for anything else.
+// exceeded the limit, 400 for anything else. Exactly one JSON value is
+// accepted: trailing garbage after it (which encoding/json's streaming
+// Decode would silently leave unread) is a 400, trailing whitespace is fine.
 func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	err := dec.Decode(v)
 	if err == nil {
+		var trailing json.RawMessage
+		if terr := dec.Decode(&trailing); terr != io.EOF {
+			httpError(w, http.StatusBadRequest, "trailing data after JSON body")
+			return false
+		}
 		return true
 	}
 	var mbe *http.MaxBytesError
@@ -589,6 +644,57 @@ func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 	}
 	httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 	return false
+}
+
+// generation is the query-cache validity stamp: acked mutations plus
+// installed epoch rebuilds, summed. Both components only grow, so any
+// mutation or rebuild moves the generation and every cached entry stamped
+// earlier stops matching — O(1) whole-cache invalidation. Mutation handlers
+// bump s.mutations after the index apply and before the ack, so a read
+// issued after an acked mutation always sees a newer generation than any
+// entry the mutation could have affected.
+func (s *server) generation() uint64 {
+	return s.mutations.Load() + s.sh.Rebuilds()
+}
+
+// withDeadline applies the -default-timeout budget to a request context.
+func (s *server) withDeadline(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.defaultTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.defaultTimeout)
+}
+
+// statusClientClosedRequest is nginx's 499: the client went away before the
+// response. No standard code covers it, and logging these separately from
+// real 5xx failures is exactly why nginx invented it.
+const statusClientClosedRequest = 499
+
+// writeSearchError maps a query-path failure onto the HTTP contract:
+// client cancellation is 499, a blown deadline is 504 Gateway Timeout, and
+// only genuine internal failures surface as 500.
+func writeSearchError(w http.ResponseWriter, what string, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		httpError(w, statusClientClosedRequest, "%s canceled by client", what)
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "%s deadline exceeded", what)
+	default:
+		httpError(w, http.StatusInternalServerError, "%s: %v", what, err)
+	}
+}
+
+// writeShedError maps an admission failure: overload sheds are 429 Too Many
+// Requests with Retry-After so well-behaved clients back off; a request
+// whose own context died while queued reports like any other cancellation.
+func writeShedError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, admit.ErrQueueFull), errors.Is(err, admit.ErrWaitTimeout):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "server overloaded: %v", err)
+	default:
+		writeSearchError(w, "admission", err)
+	}
 }
 
 func (s *server) routes() http.Handler {
@@ -628,23 +734,36 @@ func (s *server) gate(next http.HandlerFunc) http.HandlerFunc {
 // instrument wraps a route with the HTTP metrics (request/error counters by
 // status, in-flight gauge, latency histogram) and the per-request trace
 // (X-Request-ID propagation, span recording, /debug/trace ring, slow-query
-// log).
+// log). The accounting runs in a deferred block so a panicking handler
+// cannot leak the in-flight gauge or drop its trace: the panic is recovered
+// into a 500 (when the handler had not started the response yet) and the
+// request is counted and traced like any other failure.
 func (s *server) instrument(route string, next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		tr := s.tracer.begin(route, w, r)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		s.metrics.inflight.Inc()
 		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				fmt.Fprintf(os.Stderr, "panic serving %s: %v\n%s", route, p, debug.Stack())
+				if !sw.wroteHeader {
+					httpError(sw, http.StatusInternalServerError, "internal error")
+				} else {
+					sw.status = http.StatusInternalServerError
+				}
+			}
+			dur := time.Since(start)
+			s.metrics.inflight.Dec()
+			code := strconv.Itoa(sw.status)
+			s.metrics.requests.With(route, code).Inc()
+			if sw.status >= 400 {
+				s.metrics.errors.With(route, code).Inc()
+			}
+			s.metrics.latency.With(route).Observe(dur.Seconds())
+			s.tracer.finish(tr, sw.status, dur)
+		}()
 		next(sw, r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, tr)))
-		dur := time.Since(start)
-		s.metrics.inflight.Dec()
-		code := strconv.Itoa(sw.status)
-		s.metrics.requests.With(route, code).Inc()
-		if sw.status >= 400 {
-			s.metrics.errors.With(route, code).Inc()
-		}
-		s.metrics.latency.With(route).Observe(dur.Seconds())
-		s.tracer.finish(tr, sw.status, dur)
 	}
 }
 
@@ -811,10 +930,21 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	tr.setQueryShape(traceTheta, len(queries), s.sh.K())
 
-	start := time.Now()
-	answers, mode, err := s.runSearch(req, queries, tr)
+	ctx, cancelReq := s.withDeadline(r)
+	defer cancelReq()
+	admitStart := time.Now()
+	release, err := s.admission.Acquire(ctx, int64(len(queries)))
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "search: %v", err)
+		writeShedError(w, err)
+		return
+	}
+	defer release()
+	tr.addStage("admit", time.Since(admitStart))
+
+	start := time.Now()
+	answers, mode, err := s.runSearch(ctx, req, queries, tr)
+	if err != nil {
+		writeSearchError(w, "search", err)
 		return
 	}
 	s.queries.Add(uint64(len(queries)))
@@ -837,10 +967,12 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // runSearch dispatches a validated /search request: uniform-threshold
 // batches go through the shared-candidate batch processor when the index
 // kind supports it, mixed-radius batches (and kinds without batch support)
-// fall back to independent per-query searches. Single queries run through
-// the traced scatter-gather so the request trace records fan-out and merge
-// timings plus backend attribution; batch stages are recorded whole.
-func (s *server) runSearch(req searchRequest, queries []ranking.Ranking, tr *requestTrace) ([][]ranking.Result, string, error) {
+// fall back to independent per-query searches. Single queries probe the
+// result cache first, then run through the traced scatter-gather so the
+// request trace records fan-out and merge timings plus backend attribution;
+// batch stages are recorded whole. ctx cancellation propagates into the
+// shard fan-out on every path.
+func (s *server) runSearch(ctx context.Context, req searchRequest, queries []ranking.Ranking, tr *requestTrace) ([][]ranking.Result, string, error) {
 	planStart := time.Now()
 	theta, uniform := req.Theta, true
 	if req.Thetas != nil {
@@ -854,27 +986,46 @@ func (s *server) runSearch(req searchRequest, queries []ranking.Ranking, tr *req
 	}
 	tr.addStage("plan", time.Since(planStart))
 	if req.Query != nil {
-		res, qt, err := s.sh.SearchTraced(queries[0], theta)
+		var (
+			key qcache.Key
+			gen uint64
+		)
+		if s.cache != nil {
+			// The generation is read BEFORE the search: a mutation landing
+			// mid-search makes the entry conservatively stale, never wrongly
+			// fresh (see qcache's package comment).
+			key = qcache.Key{Kind: "search", Query: queries[0].String(), Theta: theta}
+			gen = s.generation()
+			if res, ok := s.cache.Get(key, gen); ok {
+				tr.addStage("cache", time.Since(planStart))
+				return [][]ranking.Result{res}, "cached", nil
+			}
+		}
+		res, qt, err := s.sh.SearchTracedContext(ctx, queries[0], theta)
 		tr.addStageMicros("fanout", qt.FanoutMicros)
 		tr.addStageMicros("merge", qt.MergeMicros)
 		tr.setAttribution(qt.Backends, qt.DistanceCalls)
-		return [][]ranking.Result{res}, "per-query", err
+		if err != nil {
+			return nil, "", err
+		}
+		s.cache.Put(key, gen, res)
+		return [][]ranking.Result{res}, "per-query", nil
 	}
 	searchStart := time.Now()
 	defer func() { tr.addStage("search", time.Since(searchStart)) }()
 	if !uniform {
 		s.batchSplit.Add(1)
-		res, err := s.sh.SearchBatchThetas(queries, req.Thetas)
+		res, err := s.sh.SearchBatchThetasContext(ctx, queries, req.Thetas)
 		return res, "per-query", err
 	}
 	if len(queries) > 1 {
-		if res, ok, err := s.sh.SearchBatchShared(queries, theta); ok {
+		if res, ok, err := s.sh.SearchBatchSharedContext(ctx, queries, theta); ok {
 			s.batchShared.Add(1)
 			return res, "shared", err
 		}
 	}
 	s.batchSplit.Add(1)
-	res, err := s.sh.SearchBatch(queries, theta)
+	res, err := s.sh.SearchBatchContext(ctx, queries, theta)
 	return res, "per-query", err
 }
 
@@ -917,11 +1068,34 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	}
 	tr.addStage("parse", time.Since(parseStart))
 	tr.setQueryShape(0, 1, s.sh.K())
-	start := time.Now()
-	res, err := s.sh.NearestNeighbors(req.Query, req.N)
+	ctx, cancelReq := s.withDeadline(r)
+	defer cancelReq()
+	admitStart := time.Now()
+	release, err := s.admission.Acquire(ctx, 1)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "knn: %v", err)
+		writeShedError(w, err)
 		return
+	}
+	defer release()
+	tr.addStage("admit", time.Since(admitStart))
+	start := time.Now()
+	var (
+		key qcache.Key
+		gen uint64
+	)
+	res, cached := []ranking.Result(nil), false
+	if s.cache != nil {
+		key = qcache.Key{Kind: "knn", Query: req.Query.String(), N: req.N}
+		gen = s.generation()
+		res, cached = s.cache.Get(key, gen)
+	}
+	if !cached {
+		res, err = s.sh.NearestNeighborsContext(ctx, req.Query, req.N)
+		if err != nil {
+			writeSearchError(w, "knn", err)
+			return
+		}
+		s.cache.Put(key, gen, res)
 	}
 	tr.addStage("search", time.Since(start))
 	s.knn.Add(1)
@@ -1090,6 +1264,11 @@ type statsResponse struct {
 	Shards  []shard.ShardStats `json:"shards"`
 	// WAL reports the durability counters when the server runs with -wal.
 	WAL *walStatsJSON `json:"wal,omitempty"`
+	// Admission reports the load-shedding semaphore (absent when admission
+	// control is disabled with -max-concurrency < 0); Cache the query-result
+	// cache (absent without -cache-entries).
+	Admission *admit.Stats  `json:"admission,omitempty"`
+	Cache     *qcache.Stats `json:"cache,omitempty"`
 }
 
 // walStatsJSON is the /stats durability section: the log's own counters
@@ -1154,6 +1333,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.wal != nil {
 		ws = &walStatsJSON{Dir: s.wal.Dir(), Replayed: s.walReplayed, Stats: s.wal.Stats()}
 	}
+	var adm *admit.Stats
+	if s.admission != nil {
+		a := s.admission.Stats()
+		adm = &a
+	}
+	var cst *qcache.Stats
+	if s.cache != nil {
+		c := s.cache.Stats()
+		cst = &c
+	}
 	fan, mrg := s.sh.Timings()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Index:         s.kind,
@@ -1175,6 +1364,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Planner:       aggregatePlanStats(s.sh),
 		Shards:        shards,
 		WAL:           ws,
+		Admission:     adm,
+		Cache:         cst,
 	})
 }
 

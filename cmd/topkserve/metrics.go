@@ -173,6 +173,47 @@ func (s *server) registerCollectors() {
 			w.Histogram("topkserve_wal_fsync_duration_seconds",
 				"Duration of WAL fsync calls.", "", st.FsyncLatency)
 		}
+
+		if s.admission != nil {
+			st := s.admission.Stats()
+			w.Counter("topkserve_admission_admitted_total",
+				"Search requests admitted past the concurrency semaphore.", "",
+				float64(st.Admitted))
+			w.Counter("topkserve_admission_shed_total",
+				"Search requests shed by admission control (answered 429), by reason.",
+				telemetry.Labels("reason", "queue_full"), float64(st.ShedQueueFull))
+			w.Counter("topkserve_admission_shed_total", "",
+				telemetry.Labels("reason", "wait_timeout"), float64(st.ShedTimeout))
+			w.Counter("topkserve_admission_shed_total", "",
+				telemetry.Labels("reason", "canceled"), float64(st.ShedCanceled))
+			w.Gauge("topkserve_admission_capacity",
+				"Concurrent search weight bound (-max-concurrency resolved).", "",
+				float64(st.Capacity))
+			w.Gauge("topkserve_admission_in_use",
+				"Search weight currently admitted (one unit per batch member).", "",
+				float64(st.InUse))
+			w.Gauge("topkserve_admission_queue_depth",
+				"Requests currently waiting for a search slot.", "",
+				float64(st.QueueDepth))
+			w.Histogram("topkserve_admission_queue_wait_seconds",
+				"Queue wait of admitted requests (sheds are not observed here).", "",
+				st.Wait)
+		}
+		if s.cache != nil {
+			st := s.cache.Stats()
+			w.Counter("topkserve_cache_hits_total",
+				"Query-result cache hits.", "", float64(st.Hits))
+			w.Counter("topkserve_cache_misses_total",
+				"Query-result cache misses (generation invalidations included).", "",
+				float64(st.Misses))
+			w.Counter("topkserve_cache_invalidations_total",
+				"Cache entries dropped because their generation went stale (a mutation or epoch rebuild landed).", "",
+				float64(st.Invalidations))
+			w.Counter("topkserve_cache_evictions_total",
+				"Cache entries evicted by the LRU bound.", "", float64(st.Evictions))
+			w.Gauge("topkserve_cache_entries",
+				"Live query-result cache entries.", "", float64(st.Entries))
+		}
 	})
 }
 

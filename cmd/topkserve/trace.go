@@ -158,15 +158,27 @@ func traceFrom(r *http.Request) *requestTrace {
 	return tr
 }
 
-// statusWriter captures the response status for metrics and traces.
+// statusWriter captures the response status for metrics and traces, and
+// whether the header went out — the panic-recovery path in instrument may
+// only write a 500 while the response has not started.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status      int
+	wroteHeader bool
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
+	if sw.wroteHeader {
+		return
+	}
 	sw.status = code
+	sw.wroteHeader = true
 	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wroteHeader = true // implicit 200 on first body write
+	return sw.ResponseWriter.Write(b)
 }
 
 // handleDebugTrace dumps the trace ring, most recent first.

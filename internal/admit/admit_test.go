@@ -1,0 +1,219 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAcquireWithinCapacity(t *testing.T) {
+	c := New(4, 0, 0)
+	var releases []func()
+	for i := 0; i < 4; i++ {
+		rel, err := c.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	if got := c.InUse(); got != 4 {
+		t.Fatalf("InUse = %d, want 4", got)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	if got := c.InUse(); got != 0 {
+		t.Fatalf("InUse after release = %d, want 0", got)
+	}
+	st := c.Stats()
+	if st.Admitted != 4 {
+		t.Fatalf("Admitted = %d, want 4", st.Admitted)
+	}
+}
+
+func TestWeightClampedToCapacity(t *testing.T) {
+	c := New(2, 0, 0)
+	rel, err := c.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatalf("oversized acquire should clamp, got %v", err)
+	}
+	if got := c.InUse(); got != 2 {
+		t.Fatalf("InUse = %d, want clamped 2", got)
+	}
+	rel()
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	c := New(1, 0, 0) // no queue at all
+	rel, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if _, err := c.Acquire(context.Background(), 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if st := c.Stats(); st.ShedQueueFull != 1 {
+		t.Fatalf("ShedQueueFull = %d, want 1", st.ShedQueueFull)
+	}
+}
+
+func TestWaitTimeoutSheds(t *testing.T) {
+	c := New(1, 4, 5*time.Millisecond)
+	rel, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	if _, err := c.Acquire(context.Background(), 1); !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("err = %v, want ErrWaitTimeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("wait-timeout shed took far too long")
+	}
+	st := c.Stats()
+	if st.ShedTimeout != 1 {
+		t.Fatalf("ShedTimeout = %d, want 1", st.ShedTimeout)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("QueueDepth = %d, want 0 after shed", st.QueueDepth)
+	}
+}
+
+func TestCanceledWhileQueued(t *testing.T) {
+	c := New(1, 4, 0)
+	rel, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx, 1)
+		done <- err
+	}()
+	// Wait until the goroutine is actually queued, then cancel.
+	for c.QueueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := c.Stats(); st.ShedCanceled != 1 {
+		t.Fatalf("ShedCanceled = %d, want 1", st.ShedCanceled)
+	}
+}
+
+func TestFIFOGrantOnRelease(t *testing.T) {
+	c := New(1, 8, 0)
+	rel, err := c.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 4
+	order := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		// Enqueue strictly one at a time so queue order is deterministic.
+		for c.QueueDepth() != i {
+			time.Sleep(time.Millisecond)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := c.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			r()
+		}(i)
+	}
+	for c.QueueDepth() != waiters {
+		time.Sleep(time.Millisecond)
+	}
+	rel() // grants cascade FIFO as each waiter releases
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("grant order: got waiter %d, want %d", got, want)
+		}
+		want++
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	c := New(2, 0, 0)
+	rel, err := c.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // second call must be a no-op, not free phantom capacity
+	if got := c.InUse(); got != 0 {
+		t.Fatalf("InUse = %d, want 0", got)
+	}
+	if _, err := c.Acquire(context.Background(), 2); err != nil {
+		t.Fatalf("reacquire after idempotent release: %v", err)
+	}
+}
+
+func TestNilControllerAdmitsEverything(t *testing.T) {
+	var c *Controller
+	rel, err := c.Acquire(context.Background(), 99)
+	if err != nil {
+		t.Fatalf("nil controller: %v", err)
+	}
+	rel()
+	if c.QueueDepth() != 0 || c.InUse() != 0 || c.Capacity() != 0 {
+		t.Fatal("nil controller accessors should be zero")
+	}
+}
+
+func TestLargeWaiterBlocksSmallerBehindIt(t *testing.T) {
+	c := New(4, 8, 0)
+	rel, err := c.Acquire(context.Background(), 3) // 1 unit free
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigDone := make(chan struct{})
+	go func() {
+		r, err := c.Acquire(context.Background(), 3) // needs 3, only 1 free
+		if err != nil {
+			t.Errorf("big waiter: %v", err)
+		}
+		close(bigDone)
+		r()
+	}()
+	for c.QueueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	smallDone := make(chan struct{})
+	go func() {
+		r, err := c.Acquire(context.Background(), 1) // would fit, but FIFO
+		if err != nil {
+			t.Errorf("small waiter: %v", err)
+		}
+		close(smallDone)
+		r()
+	}()
+	for c.QueueDepth() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-smallDone:
+		t.Fatal("small waiter jumped the queue ahead of the large one")
+	case <-time.After(20 * time.Millisecond):
+	}
+	rel() // frees 3 → big goes first, then small
+	<-bigDone
+	<-smallDone
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"topk/internal/dataset"
+)
+
+// TestOverloadShedsAndStaysBounded floods a tiny admission controller far
+// past its capacity and checks the experiment's accounting: every arrival is
+// either accepted or shed, the bounded mode actually sheds under a flood,
+// and the unbounded mode accepts everything.
+func TestOverloadShedsAndStaysBounded(t *testing.T) {
+	env, err := NewEnv("NYT-like", dataset.NYTLike(800, 10), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, tbl, err := Overload(env, OverloadConfig{
+		Factor:   8,
+		Arrivals: 300,
+		Capacity: 2,
+		MaxQueue: 2,
+		MaxWait:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("want 2 records (admission, unbounded), got %d", len(recs))
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("table rows = %d, want 2", len(tbl.Rows))
+	}
+	byMode := map[string]OverloadRecord{}
+	for _, r := range recs {
+		byMode[r.Mode] = r
+		if r.Accepted+r.Shed != r.Arrivals {
+			t.Fatalf("%s: accepted %d + shed %d != arrivals %d", r.Mode, r.Accepted, r.Shed, r.Arrivals)
+		}
+		if r.Accepted == 0 {
+			t.Fatalf("%s: no arrivals accepted", r.Mode)
+		}
+		if r.Accepted > 0 && r.AcceptedP99Micros <= 0 {
+			t.Fatalf("%s: accepted requests but p99 = %v", r.Mode, r.AcceptedP99Micros)
+		}
+		if r.OfferedPerSec <= r.SustainablePerSec {
+			t.Fatalf("%s: offered %.0f/s not above sustainable %.0f/s", r.Mode, r.OfferedPerSec, r.SustainablePerSec)
+		}
+	}
+	adm := byMode["admission"]
+	if adm.Shed == 0 {
+		t.Fatal("admission mode shed nothing at 8x sustainable with capacity 2 — the controller is not engaged")
+	}
+	if adm.Capacity != 2 || adm.MaxQueue != 2 {
+		t.Fatalf("admission record config = cap %d queue %d, want 2/2", adm.Capacity, adm.MaxQueue)
+	}
+	unb := byMode["unbounded"]
+	if unb.Shed != 0 {
+		t.Fatalf("unbounded mode shed %d requests — it has nothing to shed with", unb.Shed)
+	}
+}

@@ -1,0 +1,143 @@
+package qcache
+
+import (
+	"fmt"
+	"testing"
+
+	"topk/internal/ranking"
+)
+
+func k(q string) Key { return Key{Kind: "search", Query: q, Theta: 0.2} }
+
+func res(ids ...ranking.ID) []ranking.Result {
+	out := make([]ranking.Result, len(ids))
+	for i, id := range ids {
+		out[i] = ranking.Result{ID: id, Dist: 1}
+	}
+	return out
+}
+
+func TestHitMiss(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get(k("a"), 1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k("a"), 1, res(1, 2))
+	got, ok := c.Get(k("a"), 1)
+	if !ok || len(got) != 2 || got[0].ID != 1 {
+		t.Fatalf("Get = %v, %v; want cached result", got, ok)
+	}
+	// Different key fields all miss.
+	for _, miss := range []Key{
+		{Kind: "knn", Query: "a", Theta: 0.2},
+		{Kind: "search", Query: "b", Theta: 0.2},
+		{Kind: "search", Query: "a", Theta: 0.3},
+		{Kind: "search", Query: "a", Theta: 0.2, N: 5},
+	} {
+		if _, ok := c.Get(miss, 1); ok {
+			t.Fatalf("unexpected hit for %+v", miss)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 5 {
+		t.Fatalf("Stats = %+v; want 1 hit, 5 misses", st)
+	}
+}
+
+func TestGenerationInvalidates(t *testing.T) {
+	c := New(4)
+	c.Put(k("a"), 7, res(1))
+	if _, ok := c.Get(k("a"), 8); ok {
+		t.Fatal("stale generation must miss")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("Invalidations = %d, want 1", st.Invalidations)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("stale entry not dropped: %d entries", st.Entries)
+	}
+	// Refill at the new generation works.
+	c.Put(k("a"), 8, res(2))
+	if got, ok := c.Get(k("a"), 8); !ok || got[0].ID != 2 {
+		t.Fatalf("refill miss: %v %v", got, ok)
+	}
+}
+
+func TestCachedEmptyResultIsAHit(t *testing.T) {
+	c := New(4)
+	c.Put(k("empty"), 1, nil)
+	got, ok := c.Get(k("empty"), 1)
+	if !ok || got != nil {
+		t.Fatalf("Get = %v, %v; want nil, true", got, ok)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put(k("a"), 1, res(1))
+	c.Put(k("b"), 1, res(2))
+	c.Get(k("a"), 1) // a is now MRU
+	c.Put(k("c"), 1, res(3))
+	if _, ok := c.Get(k("b"), 1); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	if _, ok := c.Get(k("a"), 1); !ok {
+		t.Fatal("a was MRU and must survive")
+	}
+	if _, ok := c.Get(k("c"), 1); !ok {
+		t.Fatal("c was just inserted and must survive")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("Stats = %+v; want 1 eviction, 2 entries", st)
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := New(2)
+	c.Put(k("a"), 1, res(1))
+	c.Put(k("a"), 2, res(9))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after replace", c.Len())
+	}
+	if got, ok := c.Get(k("a"), 2); !ok || got[0].ID != 9 {
+		t.Fatalf("replaced entry: %v %v", got, ok)
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	c := New(0)
+	if c != nil {
+		t.Fatal("New(0) should return the nil (disabled) cache")
+	}
+	c.Put(k("a"), 1, res(1))
+	if _, ok := c.Get(k("a"), 1); ok {
+		t.Fatal("nil cache must never hit")
+	}
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache accessors must be zero")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := New(64)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				key := k(fmt.Sprintf("q%d", i%100))
+				gen := uint64(i % 3)
+				if _, ok := c.Get(key, gen); !ok {
+					c.Put(key, gen, res(ranking.ID(i)))
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if c.Len() > 64 {
+		t.Fatalf("cache exceeded bound: %d", c.Len())
+	}
+}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -24,6 +25,14 @@ type NearestNeighborSearcher interface {
 // answer is exact over its chunk and the chunks partition the collection,
 // the merged prefix is exactly the unsharded answer.
 func (s *Sharded) NearestNeighbors(q ranking.Ranking, n int) ([]ranking.Result, error) {
+	return s.NearestNeighborsContext(context.Background(), q, n)
+}
+
+// NearestNeighborsContext is NearestNeighbors with cancellation: ctx is
+// checked on entry and before each per-shard local-KNN task, so an abandoned
+// request stops scheduling shard work. A local KNN that has already started
+// runs to completion (the cancellation grain is one shard task).
+func (s *Sharded) NearestNeighborsContext(ctx context.Context, q ranking.Ranking, n int) ([]ranking.Result, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -35,6 +44,9 @@ func (s *Sharded) NearestNeighbors(q ranking.Ranking, n int) ([]ranking.Result, 
 		}
 		searchers[i] = nn
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	parts := make([][]ranking.Result, len(s.shards))
 	errs := make([]error, len(s.shards))
 	var wg sync.WaitGroup
@@ -42,15 +54,17 @@ func (s *Sharded) NearestNeighbors(q ranking.Ranking, n int) ([]ranking.Result, 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			parts[i], errs[i] = s.nearestShard(i, searchers[i], q, n)
 		}(i)
 	}
 	parts[0], errs[0] = s.nearestShard(0, searchers[0], q, n)
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("shard %d: %w", i, err)
-		}
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	return mergeNearest(parts, n), nil
 }

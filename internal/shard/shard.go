@@ -14,6 +14,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -292,6 +293,20 @@ func (s *Sharded) DistanceCalls() uint64 {
 	return t
 }
 
+// Rebuilds sums the epoch-rebuild counters of the sub-indices that expose
+// one (the hybrid engine's delta-overlay rebuilds). Immutable kinds
+// contribute 0. Together with a mutation counter this forms a cheap
+// collection generation: any acked mutation or installed rebuild changes it.
+func (s *Sharded) Rebuilds() uint64 {
+	var t uint64
+	for _, sh := range s.shards {
+		if r, ok := sh.(interface{ Rebuilds() uint64 }); ok {
+			t += r.Rebuilds()
+		}
+	}
+	return t
+}
+
 // Shard returns the i-th sub-index and the global ID of its first ranking.
 func (s *Sharded) Shard(i int) (Index, ranking.ID) { return s.shards[i], s.offsets[i] }
 
@@ -301,6 +316,19 @@ func (s *Sharded) Shard(i int) (Index, ranking.ID) { return s.shards[i], s.offse
 // sharding and ID-sorted per-shard results, is already the globally sorted
 // result set.
 func (s *Sharded) Search(q ranking.Ranking, theta float64) ([]ranking.Result, error) {
+	return s.SearchContext(context.Background(), q, theta)
+}
+
+// SearchContext is Search with cancellation: ctx is checked on entry and
+// before each per-shard task, so a request whose client has gone away (or
+// whose deadline has passed) stops scheduling shard work. A sub-index search
+// that has already started runs to completion — the cancellation grain is
+// one shard task, bounded by the shard size. Returns ctx.Err() (possibly
+// wrapped) when the search was cut short.
+func (s *Sharded) SearchContext(ctx context.Context, q ranking.Ranking, theta float64) ([]ranking.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	parts := make([][]ranking.Result, len(s.shards))
 	errs := make([]error, len(s.shards))
 	fanStart := time.Now()
@@ -309,6 +337,10 @@ func (s *Sharded) Search(q ranking.Ranking, theta float64) ([]ranking.Result, er
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			parts[i], errs[i] = s.searchShard(i, q, theta)
 		}(i)
 	}
@@ -317,11 +349,11 @@ func (s *Sharded) Search(q ranking.Ranking, theta float64) ([]ranking.Result, er
 	s.fanout.Observe(time.Since(fanStart))
 	mergeStart := time.Now()
 	defer func() { s.merge.Observe(time.Since(mergeStart)) }()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
 	total := 0
-	for i := range errs {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("shard %d: %w", i, errs[i])
-		}
+	for i := range parts {
 		total += len(parts[i])
 	}
 	if total == 0 {
@@ -332,6 +364,26 @@ func (s *Sharded) Search(q ranking.Ranking, theta float64) ([]ranking.Result, er
 		out = append(out, p...)
 	}
 	return out, nil
+}
+
+// firstError aggregates per-shard (or per-query) errors, preferring a real
+// failure over a cancellation: when the context dies mid-fan-out some tasks
+// report bare ctx.Err(), and surfacing that instead of the failure that
+// actually aborted the work would mask it.
+func firstError(errs []error) error {
+	var ctxErr error
+	for i, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			if ctxErr == nil {
+				ctxErr = err
+			}
+		default:
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return ctxErr
 }
 
 // searchShard queries one shard, remaps IDs, and records latency.
@@ -352,33 +404,72 @@ func (s *Sharded) searchShard(i int, q ranking.Ranking, theta float64) ([]rankin
 
 // SearchBatch answers many queries at the same threshold, running up to
 // GOMAXPROCS queries concurrently (each of which fans out to all shards).
-// The i-th result slice answers queries[i]; the first error aborts nothing
-// but is reported after all queries finish.
+// The i-th result slice answers queries[i].
 func (s *Sharded) SearchBatch(queries []ranking.Ranking, theta float64) ([][]ranking.Result, error) {
-	return s.searchMany(queries, func(int) float64 { return theta })
+	return s.SearchBatchContext(context.Background(), queries, theta)
+}
+
+// SearchBatchContext is SearchBatch with cancellation: the context is
+// checked between batch members, so a dead client stops the remaining
+// queries instead of burning through the whole batch.
+func (s *Sharded) SearchBatchContext(ctx context.Context, queries []ranking.Ranking, theta float64) ([][]ranking.Result, error) {
+	return s.searchMany(ctx, queries, func(int) float64 { return theta })
 }
 
 // SearchBatchThetas answers many queries, each at its own threshold — the
 // mixed-radius fallback of the batch API. thetas[i] is the threshold of
 // queries[i].
 func (s *Sharded) SearchBatchThetas(queries []ranking.Ranking, thetas []float64) ([][]ranking.Result, error) {
+	return s.SearchBatchThetasContext(context.Background(), queries, thetas)
+}
+
+// SearchBatchThetasContext is SearchBatchThetas with cancellation between
+// batch members; see SearchBatchContext.
+func (s *Sharded) SearchBatchThetasContext(ctx context.Context, queries []ranking.Ranking, thetas []float64) ([][]ranking.Result, error) {
 	if len(thetas) != len(queries) {
 		return nil, fmt.Errorf("shard: %d thetas for %d queries", len(thetas), len(queries))
 	}
-	return s.searchMany(queries, func(i int) float64 { return thetas[i] })
+	return s.searchMany(ctx, queries, func(i int) float64 { return thetas[i] })
 }
 
 // searchMany runs independent searches for a query batch with a worker pool.
-func (s *Sharded) searchMany(queries []ranking.Ranking, thetaFor func(int) float64) ([][]ranking.Result, error) {
+// The first failure cancels the pool: queued members are never started and
+// in-flight members stop scheduling shard tasks, so a batch does not keep
+// burning cores after its outcome is already decided — whether the cause is
+// a query error or the caller's context dying.
+func (s *Sharded) searchMany(ctx context.Context, queries []ranking.Ranking, thetaFor func(int) float64) ([][]ranking.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([][]ranking.Result, len(queries))
-	errs := make([]error, len(queries))
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		failOnce sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(queries) {
 		workers = len(queries)
 	}
 	if workers <= 1 {
 		for i, q := range queries {
-			out[i], errs[i] = s.Search(q, thetaFor(i))
+			if err := cctx.Err(); err != nil {
+				fail(err)
+				break
+			}
+			res, err := s.SearchContext(cctx, q, thetaFor(i))
+			if err != nil {
+				fail(fmt.Errorf("query %d: %w", i, err))
+				break
+			}
+			out[i] = res
 		}
 	} else {
 		next := make(chan int)
@@ -388,20 +479,34 @@ func (s *Sharded) searchMany(queries []ranking.Ranking, thetaFor func(int) float
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					out[i], errs[i] = s.Search(queries[i], thetaFor(i))
+					if cctx.Err() != nil {
+						continue // drain: the batch is already failed or canceled
+					}
+					res, err := s.SearchContext(cctx, queries[i], thetaFor(i))
+					if err != nil {
+						fail(fmt.Errorf("query %d: %w", i, err))
+						continue
+					}
+					out[i] = res
 				}
 			}()
 		}
+	dispatch:
 		for i := range queries {
-			next <- i
+			select {
+			case next <- i:
+			case <-cctx.Done():
+				break dispatch
+			}
 		}
 		close(next)
 		wg.Wait()
 	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("query %d: %w", i, err)
-		}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -421,6 +526,15 @@ type BatchIndex interface {
 // work) when a sub-index kind does not implement BatchIndex — callers fall
 // back to SearchBatch.
 func (s *Sharded) SearchBatchShared(queries []ranking.Ranking, theta float64) (res [][]ranking.Result, ok bool, err error) {
+	return s.SearchBatchSharedContext(context.Background(), queries, theta)
+}
+
+// SearchBatchSharedContext is SearchBatchShared with cancellation: ctx is
+// checked on entry and before each per-shard batch task. A shard's shared
+// batch that has already started runs to completion (the cancellation grain
+// is one shard's whole batch — coarser than SearchBatchContext's per-query
+// grain, the price of shared-candidate processing).
+func (s *Sharded) SearchBatchSharedContext(ctx context.Context, queries []ranking.Ranking, theta float64) (res [][]ranking.Result, ok bool, err error) {
 	batchers := make([]BatchIndex, len(s.shards))
 	for i, sh := range s.shards {
 		b, isBatcher := sh.(BatchIndex)
@@ -428,6 +542,9 @@ func (s *Sharded) SearchBatchShared(queries []ranking.Ranking, theta float64) (r
 			return nil, false, nil
 		}
 		batchers[i] = b
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, true, err
 	}
 	parts := make([][][]ranking.Result, len(s.shards))
 	errs := make([]error, len(s.shards))
@@ -437,6 +554,10 @@ func (s *Sharded) SearchBatchShared(queries []ranking.Ranking, theta float64) (r
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			parts[i], errs[i] = s.batchShard(i, batchers[i], queries, theta)
 		}(i)
 	}
@@ -445,10 +566,8 @@ func (s *Sharded) SearchBatchShared(queries []ranking.Ranking, theta float64) (r
 	s.fanout.Observe(time.Since(fanStart))
 	mergeStart := time.Now()
 	defer func() { s.merge.Observe(time.Since(mergeStart)) }()
-	for i, err := range errs {
-		if err != nil {
-			return nil, true, fmt.Errorf("shard %d: %w", i, err)
-		}
+	if err := firstError(errs); err != nil {
+		return nil, true, err
 	}
 	out := make([][]ranking.Result, len(queries))
 	for qi := range queries {

@@ -1,7 +1,7 @@
 package shard
 
 import (
-	"fmt"
+	"context"
 	"sync"
 	"time"
 
@@ -37,17 +37,30 @@ type QueryTrace struct {
 // (results are byte-identical to Search), plus phase timings and — when the
 // sub-indices support it — backend attribution and distance-call cost.
 func (s *Sharded) SearchTraced(q ranking.Ranking, theta float64) ([]ranking.Result, QueryTrace, error) {
+	return s.SearchTracedContext(context.Background(), q, theta)
+}
+
+// SearchTracedContext is SearchTraced with cancellation: ctx is checked on
+// entry and before each per-shard task, exactly like SearchContext.
+func (s *Sharded) SearchTracedContext(ctx context.Context, q ranking.Ranking, theta float64) ([]ranking.Result, QueryTrace, error) {
+	var tr QueryTrace
+	if err := ctx.Err(); err != nil {
+		return nil, tr, err
+	}
 	parts := make([][]ranking.Result, len(s.shards))
 	backends := make([]string, len(s.shards))
 	calls := make([]uint64, len(s.shards))
 	errs := make([]error, len(s.shards))
-	var tr QueryTrace
 	fanStart := time.Now()
 	var wg sync.WaitGroup
 	for i := 1; i < len(s.shards); i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			parts[i], backends[i], calls[i], errs[i] = s.searchShardTraced(i, q, theta)
 		}(i)
 	}
@@ -62,11 +75,11 @@ func (s *Sharded) SearchTraced(q ranking.Ranking, theta float64) ([]ranking.Resu
 		s.merge.Observe(mergeDur)
 		tr.MergeMicros = float64(mergeDur.Nanoseconds()) / 1e3
 	}()
+	if err := firstError(errs); err != nil {
+		return nil, tr, err
+	}
 	total := 0
 	for i := range errs {
-		if errs[i] != nil {
-			return nil, tr, fmt.Errorf("shard %d: %w", i, errs[i])
-		}
 		total += len(parts[i])
 		tr.DistanceCalls += calls[i]
 	}
