@@ -43,6 +43,14 @@
 // records prove the traffic-hardening claim: with admission the accepted
 // requests keep a bounded tail latency while the excess is shed
 // explicitly; -json writes the two records (BENCH_overload.json).
+//
+// The kernels experiment (also not from the paper) microbenchmarks the
+// distance-kernel layer: single vs compiled Footrule, query compilation,
+// full candidate-buffer validation via the scalar path vs the batched
+// flat-store kernel, and posting-list collection, across k ∈ {10,25,50}
+// and candidate counts n ∈ {1000,4000}. -json writes the records
+// (BENCH_kernels.json) that cmd/benchgate diffs in CI against the
+// committed baseline.
 package main
 
 import (
@@ -59,7 +67,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id: fig3|fig5|fig6|fig7|tab5|fig8|fig9|fig10|tab6|stats|parallel|sweep|rebuild|wal|overload|all")
+		experiment = flag.String("experiment", "all", "experiment id: fig3|fig5|fig6|fig7|tab5|fig8|fig9|fig10|tab6|stats|parallel|sweep|rebuild|wal|overload|kernels|all")
 		scaleName  = flag.String("scale", "small", "dataset scale: small|medium|default")
 		k          = flag.Int("k", 10, "ranking size for the single-k experiments")
 		parallel   = flag.Bool("parallel", false, "shorthand for -experiment parallel (multicore throughput)")
@@ -88,17 +96,17 @@ func main() {
 	}
 	if *jsonPath != "" {
 		// -json implies the sweep unless an experiment that writes its own
-		// JSON records (sweep, wal, overload) is already selected; selecting
-		// more than one with a single output path would overwrite the
-		// earlier records.
+		// JSON records (sweep, wal, overload, kernels) is already selected;
+		// selecting more than one with a single output path would overwrite
+		// the earlier records.
 		writers := 0
 		for _, id := range ids {
-			if id := strings.TrimSpace(id); id == "sweep" || id == "wal" || id == "overload" {
+			if id := strings.TrimSpace(id); id == "sweep" || id == "wal" || id == "overload" || id == "kernels" {
 				writers++
 			}
 		}
 		if writers > 1 {
-			fmt.Fprintln(os.Stderr, "-json with more than one of sweep/wal/overload would overwrite records; run them separately")
+			fmt.Fprintln(os.Stderr, "-json with more than one of sweep/wal/overload/kernels would overwrite records; run them separately")
 			os.Exit(2)
 		}
 		if writers == 0 {
@@ -121,6 +129,11 @@ func main() {
 		case "overload":
 			if err := runOverload(sc, *k, *jsonPath); err != nil {
 				fmt.Fprintf(os.Stderr, "experiment overload: %v\n", err)
+				os.Exit(1)
+			}
+		case "kernels":
+			if err := runKernels(*jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "experiment kernels: %v\n", err)
 				os.Exit(1)
 			}
 		default:
@@ -193,6 +206,30 @@ func runOverload(sc bench.Scale, k int, jsonPath string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d overload records to %s\n", len(recs), jsonPath)
+	return nil
+}
+
+// runKernels microbenchmarks the distance-kernel layer and optionally writes
+// the machine-readable records the CI perf gate (cmd/benchgate) consumes.
+// The grid is fixed — it is the committed-baseline contract, not scaled.
+func runKernels(jsonPath string) error {
+	recs, t, err := bench.Kernels([]int{10, 25, 50}, []int{1000, 4000})
+	if err != nil {
+		return err
+	}
+	t.Fprint(os.Stdout)
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bench.WriteKernelJSON(f, recs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d kernel records to %s\n", len(recs), jsonPath)
 	return nil
 }
 

@@ -5,6 +5,15 @@
 // the two generic drivers below instead of per-kind copies of the same
 // lock/pool/evaluator/remap plumbing. The same adapters are what HybridIndex
 // routes across.
+//
+// Candidate validation in every backend bottoms out in internal/kernel: the
+// constructors reached from here flatten the collection into a kernel.Store
+// (one contiguous k-strided arena; the hybrid epoch shares a single store
+// across all its backends) and each backend's searcher validates candidates
+// through a query-compiled Footrule kernel. The evaluators created below are
+// stock (metric.New(nil)), so ev.Stock() is true on these paths and the
+// kernels account their evaluations via ev.Add — the DistanceCalls totals
+// are byte-for-byte what per-candidate ev.Distance loops would count.
 package topk
 
 import (

@@ -16,6 +16,7 @@ import (
 	"topk/internal/coarse"
 	"topk/internal/costmodel"
 	"topk/internal/invindex"
+	"topk/internal/kernel"
 	"topk/internal/knn"
 	"topk/internal/metric"
 	"topk/internal/planner"
@@ -219,6 +220,13 @@ func newHybridFromSlots(slots []Ranking, opts []HybridOption) (*HybridIndex, err
 // prior curves for (re-)seeding the planner.
 func buildEpoch(slots []Ranking, cfg hybridConfig) (*hybridEpoch, map[string][]float64, error) {
 	m, live := newSlotsIDMap(slots)
+	// Flatten the live collection once into a single k-strided arena shared
+	// by every backend of the epoch: the inverted and blocked structures
+	// index the store directly (batched kernel validation against contiguous
+	// memory), and ep.base holds its views, so the epoch carries one copy of
+	// the ranking payload instead of one per backend.
+	st := kernel.NewStore(live)
+	live = st.Views()
 	ep := &hybridEpoch{
 		ids:           m,
 		base:          live,
@@ -255,7 +263,7 @@ func buildEpoch(slots []Ranking, cfg hybridConfig) (*hybridEpoch, map[string][]f
 		ep.footruleNanos = model.CostFootrule
 	}
 
-	backends, err := buildHybridBackends(live, cfg.backends, rawThetaC)
+	backends, err := buildHybridBackends(st, cfg.backends, rawThetaC)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -309,8 +317,8 @@ func fitCostModel(live []Ranking, k int) *costmodel.Model {
 }
 
 // buildHybridBackends constructs the named physical structures over the
-// dense live collection, in parallel.
-func buildHybridBackends(live []Ranking, names []string, rawThetaC int) ([]planner.Backend, error) {
+// dense live collection (one shared flat store), in parallel.
+func buildHybridBackends(st *kernel.Store, names []string, rawThetaC int) ([]planner.Backend, error) {
 	out := make([]planner.Backend, len(names))
 	errs := make([]error, len(names))
 	var wg sync.WaitGroup
@@ -318,7 +326,7 @@ func buildHybridBackends(live []Ranking, names []string, rawThetaC int) ([]plann
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			out[i], errs[i] = buildHybridBackend(live, name, rawThetaC)
+			out[i], errs[i] = buildHybridBackend(st, name, rawThetaC)
 		}(i, name)
 	}
 	wg.Wait()
@@ -330,19 +338,17 @@ func buildHybridBackends(live []Ranking, names []string, rawThetaC int) ([]plann
 	return out, nil
 }
 
-func buildHybridBackend(live []Ranking, name string, rawThetaC int) (planner.Backend, error) {
+func buildHybridBackend(st *kernel.Store, name string, rawThetaC int) (planner.Backend, error) {
+	live := st.Views()
 	switch name {
 	case planner.BackendInverted:
-		idx, err := invindex.New(live)
+		idx, err := invindex.NewFromStore(st)
 		if err != nil {
 			return nil, err
 		}
 		return invBackend{idx: idx, pool: invindex.NewPool(idx), alg: FilterValidateDrop}, nil
 	case planner.BackendBlocked:
-		idx, err := blocked.New(live)
-		if err != nil {
-			return nil, err
-		}
+		idx := blocked.NewFromStore(st)
 		return blockedBackend{idx: idx, pool: blocked.NewPool(idx), mode: blocked.Prune}, nil
 	case planner.BackendCoarse:
 		idx, err := coarse.New(live, rawThetaC, coarse.Options{})
@@ -459,23 +465,47 @@ func (b overlayBackend) SearchRaw(q Ranking, rawTheta int, ev *metric.Evaluator)
 		}
 		res = kept
 	}
-	for i, r := range ep.delta {
-		intID := ID(len(ep.base) + i)
-		if ep.dead[intID] {
-			continue
-		}
-		var d int
-		if ev != nil {
-			d = ev.Distance(q, r)
+	if len(ep.delta) > 0 {
+		if ev == nil || ev.Stock() {
+			// Stock metric: scan the delta through a pooled compiled kernel.
+			// ev.Add counts exactly the non-tombstoned entries the legacy
+			// loop would have pushed through ev.Distance.
+			kern := overlayKernels.Get().(*kernel.Kernel)
+			kern.Compile(q)
+			scanned := uint64(0)
+			for i, r := range ep.delta {
+				intID := ID(len(ep.base) + i)
+				if ep.dead[intID] {
+					continue
+				}
+				scanned++
+				if d := kern.Distance(r); d <= rawTheta {
+					res = append(res, Result{ID: intID, Dist: d})
+				}
+			}
+			overlayKernels.Put(kern)
+			if ev != nil {
+				ev.Add(scanned)
+			}
 		} else {
-			d = ranking.Footrule(q, r)
-		}
-		if d <= rawTheta {
-			res = append(res, Result{ID: intID, Dist: d})
+			for i, r := range ep.delta {
+				intID := ID(len(ep.base) + i)
+				if ep.dead[intID] {
+					continue
+				}
+				if d := ev.Distance(q, r); d <= rawTheta {
+					res = append(res, Result{ID: intID, Dist: d})
+				}
+			}
 		}
 	}
 	return res, nil
 }
+
+// overlayKernels pools compiled-kernel state for the delta overlay scans;
+// overlay queries run on arbitrary request goroutines, so the scratch cannot
+// live on a per-searcher struct the way the backend kernels do.
+var overlayKernels = sync.Pool{New: func() any { return kernel.New() }}
 
 // nearestRaw keeps the BK-tree's native best-first KNN as long as the
 // overlay is empty; with deltas or base tombstones present it falls back to

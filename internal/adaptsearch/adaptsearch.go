@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"topk/internal/kernel"
 	"topk/internal/metric"
 	"topk/internal/ranking"
 )
@@ -116,6 +117,7 @@ type Searcher struct {
 	gen   uint32
 	count []uint16 // shared prefix items per candidate
 	cands []ranking.ID
+	kern  *kernel.Kernel
 	// VerifyCostWeight expresses how many posting scans one verification is
 	// worth in the adaptive stopping rule; AdaptJoin calibrates this with
 	// its cost model, we use the Footrule/merge cost ratio (≈ k).
@@ -128,6 +130,7 @@ func NewSearcher(idx *Index) *Searcher {
 		idx:              idx,
 		stamp:            make([]uint32, len(idx.rankings)),
 		count:            make([]uint16, len(idx.rankings)),
+		kern:             kernel.New(),
 		VerifyCostWeight: float64(idx.k),
 	}
 }
@@ -244,14 +247,30 @@ func (s *Searcher) Query(q ranking.Ranking, rawTheta int, ev *metric.Evaluator) 
 	}
 	_ = scanned
 
-	// Verification: exact Footrule for every candidate with count ≥ ℓ.
+	// Verification: exact Footrule for every candidate with count ≥ ℓ — via
+	// the compiled kernel for the stock metric (DFC accounted with ev.Add,
+	// identical to the per-candidate ev.Distance loop), the evaluator
+	// otherwise.
 	var out []ranking.Result
 	threshold := uint16(ell)
+	useKernel := ev.Stock()
+	compiled := false
 	for _, id := range s.cands {
 		if s.count[id] < threshold {
 			continue
 		}
-		if d := ev.Distance(q, idx.rankings[id]); d <= rawTheta {
+		var d int
+		if useKernel {
+			if !compiled {
+				s.kern.Compile(q)
+				compiled = true
+			}
+			d = s.kern.Distance(idx.rankings[id])
+			ev.Add(1)
+		} else {
+			d = ev.Distance(q, idx.rankings[id])
+		}
+		if d <= rawTheta {
 			out = append(out, ranking.Result{ID: id, Dist: d})
 		}
 	}

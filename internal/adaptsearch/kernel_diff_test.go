@@ -1,0 +1,49 @@
+package adaptsearch
+
+import (
+	"math/rand"
+	"testing"
+
+	"topk/internal/difftest"
+	"topk/internal/metric"
+	"topk/internal/ranking"
+)
+
+// TestKernelPathMatchesEvaluator: the verification phase's compiled kernel
+// must match the legacy ev.Distance loop exactly — same results, same DFC.
+func TestKernelPathMatchesEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n, k, domain = 400, 12, 300
+	rs := difftest.RandomCollection(rng, n, k, domain)
+	idx, err := New(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sKern := NewSearcher(idx)
+	sLegacy := NewSearcher(idx)
+	dmax := ranking.MaxDistance(k)
+	for trial := 0; trial < 60; trial++ {
+		q := difftest.RandomRanking(rng, k, domain)
+		if rng.Intn(2) == 0 {
+			q = rs[rng.Intn(n)]
+		}
+		for _, raw := range []int{0, dmax / 10, dmax / 4, dmax / 2, dmax - 1} {
+			evK := metric.New(nil)
+			evL := metric.New(ranking.Footrule)
+			gotK, err := sKern.Query(q, raw, evK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotL, err := sLegacy.Query(q, raw, evL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !difftest.Equal(gotK, gotL) {
+				t.Fatalf("raw=%d: kernel %v != legacy %v", raw, gotK, gotL)
+			}
+			if evK.Calls() != evL.Calls() {
+				t.Fatalf("raw=%d: kernel DFC %d != legacy DFC %d", raw, evK.Calls(), evL.Calls())
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"topk/internal/dataset"
+	"topk/internal/invindex"
+	"topk/internal/kernel"
+	"topk/internal/ranking"
+)
+
+// KernelRecord is one machine-readable microbenchmark measurement of the
+// distance-kernel layer (BENCH_kernels.json): the per-PR perf trajectory the
+// CI regression gate (cmd/benchgate) diffs against the committed baseline.
+type KernelRecord struct {
+	Name        string `json:"name"`
+	K           int    `json:"k"`
+	N           int    `json:"n"`
+	NsPerOp     int64  `json:"nsPerOp"`
+	AllocsPerOp int64  `json:"allocsPerOp"`
+}
+
+// WriteKernelJSON writes records as indented JSON (the committed-baseline
+// format).
+func WriteKernelJSON(w io.Writer, recs []KernelRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// kernelSink defeats dead-code elimination of the measured distance loops.
+var kernelSink int
+
+// Kernels measures the hot paths of the distance layer on an NYT-like
+// collection, by k and candidate-buffer size n:
+//
+//	footrule-scalar   one ranking.Footrule call (the pre-kernel path)
+//	footrule-kernel   one compiled-kernel Distance call (compile amortized)
+//	compile           one query compilation (dense rank table build)
+//	validate-scalar   full n-candidate validation via per-candidate Footrule
+//	validate-batched  the same buffer via Compile + FootruleMany on the flat
+//	                  store — the acceptance-criteria comparison pair
+//	collect           merging the query's k posting lists into a stamped
+//	                  candidate buffer (the CSR-backed filter phase)
+func Kernels(ks, ns []int) ([]KernelRecord, Table, error) {
+	var recs []KernelRecord
+	maxN := 0
+	for _, n := range ns {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	for _, k := range ks {
+		cfg := dataset.NYTLike(maxN, k)
+		rs, err := dataset.Generate(cfg)
+		if err != nil {
+			return nil, Table{}, err
+		}
+		queries, err := dataset.Workload(rs, cfg, 16, 0.8, cfg.Seed+500)
+		if err != nil {
+			return nil, Table{}, err
+		}
+		st := kernel.NewStore(rs)
+
+		scalar := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				kernelSink += ranking.Footrule(q, st.Slot(ranking.ID(i%maxN)))
+			}
+		})
+		recs = append(recs, record(fmt.Sprintf("footrule-scalar/k=%d", k), k, maxN, scalar))
+
+		kern := kernel.New()
+		compiled := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			kern.Compile(queries[0])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%1024 == 0 {
+					kern.Compile(queries[(i/1024)%len(queries)])
+				}
+				kernelSink += kern.Distance(st.Slot(ranking.ID(i % maxN)))
+			}
+		})
+		recs = append(recs, record(fmt.Sprintf("footrule-kernel/k=%d", k), k, maxN, compiled))
+
+		comp := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				kern.Compile(queries[i%len(queries)])
+			}
+		})
+		recs = append(recs, record(fmt.Sprintf("compile/k=%d", k), k, maxN, comp))
+
+		for _, n := range ns {
+			ids := make([]ranking.ID, n)
+			for i := range ids {
+				ids[i] = ranking.ID(i)
+			}
+			rawTheta := ranking.MaxDistance(k) / 4
+
+			vScalar := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					q := queries[i%len(queries)]
+					hits := 0
+					for _, id := range ids {
+						if ranking.Footrule(q, st.Slot(id)) <= rawTheta {
+							hits++
+						}
+					}
+					kernelSink += hits
+				}
+			})
+			recs = append(recs, record(fmt.Sprintf("validate-scalar/k=%d/n=%d", k, n), k, n, vScalar))
+
+			dists := make([]int, 0, n)
+			vBatched := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					q := queries[i%len(queries)]
+					kern.Compile(q)
+					dists = kern.FootruleMany(st, ids, dists[:0])
+					hits := 0
+					for _, d := range dists {
+						if d <= rawTheta {
+							hits++
+						}
+					}
+					kernelSink += hits
+				}
+			})
+			recs = append(recs, record(fmt.Sprintf("validate-batched/k=%d/n=%d", k, n), k, n, vBatched))
+
+			idx, err := invindex.New(rs[:n])
+			if err != nil {
+				return nil, Table{}, err
+			}
+			stamp := make([]uint32, n)
+			gen := uint32(0)
+			cands := make([]ranking.ID, 0, n)
+			collect := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					q := queries[i%len(queries)]
+					gen++
+					cands = cands[:0]
+					for _, item := range q {
+						for _, p := range idx.List(item) {
+							if stamp[p.ID] != gen {
+								stamp[p.ID] = gen
+								cands = append(cands, p.ID)
+							}
+						}
+					}
+					kernelSink += len(cands)
+				}
+			})
+			recs = append(recs, record(fmt.Sprintf("collect/k=%d/n=%d", k, n), k, n, collect))
+		}
+	}
+
+	t := Table{
+		Title:   "Distance-kernel microbenchmarks (NYT-like)",
+		Columns: []string{"benchmark", "k", "n", "ns/op", "allocs/op"},
+		Notes: []string{
+			"validate-* rows measure one full n-candidate validation pass per op",
+			"the CI gate compares ns/op against the committed BENCH_kernels.json",
+		},
+	}
+	for _, r := range recs {
+		t.Rows = append(t.Rows, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.K),
+			fmt.Sprintf("%d", r.N),
+			fmt.Sprintf("%d", r.NsPerOp),
+			fmt.Sprintf("%d", r.AllocsPerOp),
+		})
+	}
+	return recs, t, nil
+}
+
+func record(name string, k, n int, r testing.BenchmarkResult) KernelRecord {
+	return KernelRecord{
+		Name:        name,
+		K:           k,
+		N:           n,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}

@@ -20,69 +20,121 @@ package blocked
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"topk/internal/invindex"
+	"topk/internal/kernel"
 	"topk/internal/metric"
 	"topk/internal/ranking"
 )
 
-// list is a rank-sorted posting list with per-rank block offsets.
+// list is a rank-sorted posting list with per-rank block offsets. postings
+// is a view into the index's single packed arena.
 type list struct {
 	postings []invindex.Posting // sorted by Rank, then ID
 	offsets  []int32            // len k+1; block j = postings[offsets[j]:offsets[j+1]]
 }
 
-// Index is the blocked, rank-augmented inverted index.
+// Index is the blocked, rank-augmented inverted index. Rankings live in a
+// flat k-strided kernel.Store and all posting lists share one arena, so a
+// build is a handful of large allocations instead of one slice per item.
 type Index struct {
 	k        int
+	store    *kernel.Store
 	rankings []ranking.Ranking
+	arena    []invindex.Posting
 	lists    map[ranking.Item]list
 }
 
-// New builds the blocked index. Sorting each list by rank is the
-// construction overhead the paper attributes to this organization.
+// New builds the blocked index, copying the rankings into a flat store.
+// Sorting each list by rank is the construction overhead the paper
+// attributes to this organization.
 func New(rankings []ranking.Ranking) (*Index, error) {
-	idx := &Index{rankings: rankings, lists: make(map[ranking.Item]list)}
 	if len(rankings) == 0 {
-		return idx, nil
+		return &Index{store: kernel.NewStore(nil), lists: make(map[ranking.Item]list)}, nil
 	}
-	idx.k = rankings[0].K()
-	if idx.k > 255 {
-		return nil, fmt.Errorf("blocked: k=%d exceeds the uint8 rank range", idx.k)
+	k := rankings[0].K()
+	if k > 255 {
+		return nil, fmt.Errorf("blocked: k=%d exceeds the uint8 rank range", k)
 	}
-	tmp := make(map[ranking.Item][]invindex.Posting)
 	for id, r := range rankings {
-		if r.K() != idx.k {
+		if r.K() != k {
 			return nil, fmt.Errorf("blocked: ranking %d has size %d, want %d: %w",
-				id, r.K(), idx.k, ranking.ErrSizeMismatch)
+				id, r.K(), k, ranking.ErrSizeMismatch)
 		}
 		if err := r.Validate(); err != nil {
 			return nil, fmt.Errorf("blocked: ranking %d: %w", id, err)
 		}
-		for rank, item := range r {
-			tmp[item] = append(tmp[item], invindex.Posting{ID: ranking.ID(id), Rank: uint8(rank)})
+	}
+	return NewFromStore(kernel.NewStore(rankings)), nil
+}
+
+// NewFromStore builds the blocked index over an existing flat store (assumed
+// validated — both New above and the hybrid engine validate at ingest).
+func NewFromStore(st *kernel.Store) *Index {
+	idx := &Index{
+		k:        st.K(),
+		store:    st,
+		rankings: st.Views(),
+		lists:    make(map[ranking.Item]list),
+	}
+	if st.Len() == 0 {
+		idx.k = 0
+		return idx
+	}
+	n, k, flat := st.Len(), st.K(), st.Flat()
+	// Counting sort into one packed arena: count per item, carve the arena by
+	// sorted dictionary order, scatter postings in id order, then rank-sort
+	// each segment in place and cut its block offset table.
+	counts := make(map[ranking.Item]int, n)
+	for _, it := range flat {
+		counts[it]++
+	}
+	dict := make([]ranking.Item, 0, len(counts))
+	for it := range counts {
+		dict = append(dict, it)
+	}
+	slices.Sort(dict)
+	starts := make(map[ranking.Item]int, len(dict))
+	cursor := make(map[ranking.Item]int, len(dict))
+	off := 0
+	for _, it := range dict {
+		starts[it] = off
+		cursor[it] = off
+		off += counts[it]
+	}
+	idx.arena = make([]invindex.Posting, n*k)
+	for id := 0; id < n; id++ {
+		row := flat[id*k : (id+1)*k]
+		for rank, it := range row {
+			c := cursor[it]
+			idx.arena[c] = invindex.Posting{ID: ranking.ID(id), Rank: uint8(rank)}
+			cursor[it] = c + 1
 		}
 	}
-	for item, ps := range tmp {
+	allOffs := make([]int32, len(dict)*(k+1))
+	for di, it := range dict {
+		lo, hi := starts[it], starts[it]+counts[it]
+		ps := idx.arena[lo:hi:hi]
 		sort.Slice(ps, func(a, b int) bool {
 			if ps[a].Rank != ps[b].Rank {
 				return ps[a].Rank < ps[b].Rank
 			}
 			return ps[a].ID < ps[b].ID
 		})
-		offs := make([]int32, idx.k+1)
+		offs := allOffs[di*(k+1) : (di+1)*(k+1) : (di+1)*(k+1)]
 		pos := 0
-		for j := 0; j <= idx.k; j++ {
+		for j := 0; j <= k; j++ {
 			for pos < len(ps) && int(ps[pos].Rank) < j {
 				pos++
 			}
 			offs[j] = int32(pos)
 		}
-		offs[idx.k] = int32(len(ps))
-		idx.lists[item] = list{postings: ps, offsets: offs}
+		offs[k] = int32(len(ps))
+		idx.lists[it] = list{postings: ps, offsets: offs}
 	}
-	return idx, nil
+	return idx
 }
 
 // K returns the ranking size.
@@ -120,6 +172,7 @@ type Searcher struct {
 	qMask   []uint32 // bit r set: q-rank r matched
 	state   []uint8  // candidate lifecycle
 	cands   []ranking.ID
+	kern    *kernel.Kernel
 }
 
 const (
@@ -137,6 +190,7 @@ func NewSearcher(idx *Index) *Searcher {
 		tauMask: make([]uint32, n),
 		qMask:   make([]uint32, n),
 		state:   make([]uint8, n),
+		kern:    kernel.New(),
 	}
 }
 
@@ -265,6 +319,12 @@ func (s *Searcher) Query(q ranking.Ranking, rawTheta int, ev *metric.Evaluator, 
 	var out []ranking.Result
 	fullMask := uint32(1<<uint(k)) - 1
 	dropped := droppedPositions(positions, k)
+	// Bound-undecided candidates go through the compiled kernel when the
+	// evaluator is the stock Footrule (accounted via ev.Add so the DFC total
+	// matches the ev.Distance loop exactly); a custom evaluator keeps the
+	// legacy call.
+	useKernel := ev.Stock()
+	compiled := false
 	for _, id := range s.cands {
 		if s.state[id] == stateRejected {
 			continue
@@ -277,7 +337,18 @@ func (s *Searcher) Query(q ranking.Ranking, rawTheta int, ev *metric.Evaluator, 
 			out = append(out, ranking.Result{ID: id, Dist: int(u)})
 			continue
 		}
-		if d := ev.Distance(q, s.idx.rankings[id]); d <= rawTheta {
+		var d int
+		if useKernel {
+			if !compiled {
+				s.kern.Compile(q)
+				compiled = true
+			}
+			d = s.kern.Distance(s.idx.rankings[id])
+			ev.Add(1)
+		} else {
+			d = ev.Distance(q, s.idx.rankings[id])
+		}
+		if d <= rawTheta {
 			out = append(out, ranking.Result{ID: id, Dist: d})
 		}
 	}

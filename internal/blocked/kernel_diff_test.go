@@ -1,0 +1,94 @@
+package blocked
+
+import (
+	"math/rand"
+	"testing"
+
+	"topk/internal/difftest"
+	"topk/internal/metric"
+	"topk/internal/ranking"
+)
+
+// TestKernelPathMatchesEvaluator: the resolution phase's compiled-kernel
+// fallback must match the legacy ev.Distance loop exactly — same results,
+// same DFC — under both Prune and PruneDrop.
+func TestKernelPathMatchesEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, k, domain = 400, 12, 300
+	rs := difftest.RandomCollection(rng, n, k, domain)
+	idx, err := New(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sKern := NewSearcher(idx)
+	sLegacy := NewSearcher(idx)
+	dmax := ranking.MaxDistance(k)
+	for trial := 0; trial < 60; trial++ {
+		q := difftest.RandomRanking(rng, k, domain)
+		if rng.Intn(2) == 0 {
+			q = rs[rng.Intn(n)]
+		}
+		for _, raw := range []int{0, dmax / 10, dmax / 4, dmax / 2, dmax - 1} {
+			for _, mode := range []Mode{Prune, PruneDrop} {
+				evK := metric.New(nil)
+				evL := metric.New(ranking.Footrule)
+				gotK, err := sKern.Query(q, raw, evK, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotL, err := sLegacy.Query(q, raw, evL, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !difftest.Equal(gotK, gotL) {
+					t.Fatalf("mode=%d raw=%d: kernel %v != legacy %v", mode, raw, gotK, gotL)
+				}
+				if evK.Calls() != evL.Calls() {
+					t.Fatalf("mode=%d raw=%d: kernel DFC %d != legacy DFC %d", mode, raw, evK.Calls(), evL.Calls())
+				}
+			}
+		}
+	}
+}
+
+// TestArenaLayout pins the packed-arena build: every list is a view into one
+// shared arena holding exactly n·k postings, each rank-sorted with a correct
+// block offset table.
+func TestArenaLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	const n, k, domain = 200, 8, 150
+	rs := difftest.RandomCollection(rng, n, k, domain)
+	idx, err := New(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.arena) != n*k {
+		t.Fatalf("arena holds %d postings, want %d", len(idx.arena), n*k)
+	}
+	total := 0
+	for item, l := range idx.lists {
+		total += len(l.postings)
+		if len(l.offsets) != k+1 {
+			t.Fatalf("item %d: offset table len %d, want %d", item, len(l.offsets), k+1)
+		}
+		for j := 0; j < k; j++ {
+			for _, p := range l.postings[l.offsets[j]:l.offsets[j+1]] {
+				if int(p.Rank) != j {
+					t.Fatalf("item %d block %d holds rank %d", item, j, p.Rank)
+				}
+				if q := idx.rankings[p.ID][j]; q != item {
+					t.Fatalf("posting claims ranking %d has item %d at rank %d; it has %d", p.ID, item, j, q)
+				}
+			}
+		}
+		for i := 1; i < len(l.postings); i++ {
+			a, b := l.postings[i-1], l.postings[i]
+			if a.Rank > b.Rank || (a.Rank == b.Rank && a.ID >= b.ID) {
+				t.Fatalf("item %d: postings not (rank,id)-sorted at %d", item, i)
+			}
+		}
+	}
+	if total != n*k {
+		t.Fatalf("lists cover %d postings, want %d", total, n*k)
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"topk/internal/bktree"
 	"topk/internal/invindex"
+	"topk/internal/kernel"
 	"topk/internal/metric"
 	"topk/internal/ranking"
 )
@@ -277,13 +278,14 @@ type Stats struct {
 
 // Searcher carries per-goroutine query state.
 type Searcher struct {
-	idx *Index
-	ms  *invindex.Searcher
+	idx  *Index
+	ms   *invindex.Searcher
+	kern *kernel.Kernel
 }
 
 // NewSearcher creates a searcher bound to idx.
 func NewSearcher(idx *Index) *Searcher {
-	return &Searcher{idx: idx, ms: invindex.NewSearcher(idx.medoidIdx)}
+	return &Searcher{idx: idx, ms: invindex.NewSearcher(idx.medoidIdx), kern: kernel.New()}
 }
 
 // Query answers the range query (q, rawTheta) exactly; see QueryStats.
@@ -328,9 +330,21 @@ func (s *Searcher) QueryStats(q ranking.Ranking, rawTheta int, ev *metric.Evalua
 		// and the natural degeneration toward "one metric tree" the paper
 		// describes for large θC.
 		st.ExhaustiveScan = true
-		for i, id := range idx.medoids {
-			if d := ev.Distance(q, idx.rankings[id]); d <= relaxed {
-				medoidHits = append(medoidHits, ranking.Result{ID: ranking.ID(i), Dist: d})
+		if ev.Stock() {
+			// Exhaustive medoid scan through the compiled kernel; ev.Add keeps
+			// the DFC total identical to the per-medoid ev.Distance loop.
+			s.kern.Compile(q)
+			for i, id := range idx.medoids {
+				if d := s.kern.Distance(idx.rankings[id]); d <= relaxed {
+					medoidHits = append(medoidHits, ranking.Result{ID: ranking.ID(i), Dist: d})
+				}
+			}
+			ev.Add(uint64(len(idx.medoids)))
+		} else {
+			for i, id := range idx.medoids {
+				if d := ev.Distance(q, idx.rankings[id]); d <= relaxed {
+					medoidHits = append(medoidHits, ranking.Result{ID: ranking.ID(i), Dist: d})
+				}
 			}
 		}
 	} else {

@@ -1,0 +1,63 @@
+package coarse
+
+import (
+	"math/rand"
+	"testing"
+
+	"topk/internal/difftest"
+	"topk/internal/metric"
+	"topk/internal/ranking"
+)
+
+// TestKernelPathMatchesEvaluator: the exhaustive medoid scan's compiled
+// kernel must match the legacy ev.Distance loop exactly — same medoid hits,
+// same final results, same DFC. A large θC forces the relaxed threshold past
+// dmax at high θ (the ExhaustiveScan branch), while small θ exercises the
+// normal inverted-index filtering for contrast.
+func TestKernelPathMatchesEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, k, domain = 300, 10, 200
+	rs := difftest.RandomCollection(rng, n, k, domain)
+	dmax := ranking.MaxDistance(k)
+	idx, err := New(rs, dmax/2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sKern := NewSearcher(idx)
+	sLegacy := NewSearcher(idx)
+	sawExhaustive := false
+	for trial := 0; trial < 40; trial++ {
+		q := difftest.RandomRanking(rng, k, domain)
+		if rng.Intn(2) == 0 {
+			q = rs[rng.Intn(n)]
+		}
+		for _, raw := range []int{0, dmax / 8, dmax / 2, dmax - 1} {
+			evK := metric.New(nil)
+			evL := metric.New(ranking.Footrule)
+			gotK, stK, err := sKern.QueryStats(q, raw, evK, FV)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotL, stL, err := sLegacy.QueryStats(q, raw, evL, FV)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stK.ExhaustiveScan != stL.ExhaustiveScan {
+				t.Fatalf("raw=%d: scan modes diverged", raw)
+			}
+			sawExhaustive = sawExhaustive || stK.ExhaustiveScan
+			if !difftest.Equal(gotK, gotL) {
+				t.Fatalf("raw=%d: kernel %v != legacy %v", raw, gotK, gotL)
+			}
+			if evK.Calls() != evL.Calls() {
+				t.Fatalf("raw=%d: kernel DFC %d != legacy DFC %d", raw, evK.Calls(), evL.Calls())
+			}
+			if stK.MedoidsRetrieved != stL.MedoidsRetrieved {
+				t.Fatalf("raw=%d: medoid counts diverged: %d vs %d", raw, stK.MedoidsRetrieved, stL.MedoidsRetrieved)
+			}
+		}
+	}
+	if !sawExhaustive {
+		t.Fatal("the exhaustive-scan branch was never exercised")
+	}
+}

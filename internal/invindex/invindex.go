@@ -18,8 +18,10 @@ package invindex
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
+	"topk/internal/kernel"
 	"topk/internal/metric"
 	"topk/internal/ranking"
 )
@@ -35,8 +37,24 @@ type Posting struct {
 // rankings: for every item, the id-sorted list of rankings containing it,
 // together with the item's rank (the "inverted index w/ ranks" of §6.2).
 type Index struct {
-	k        int
+	k int
+	// store holds the build-time collection in one flat k-strided arena;
+	// rankings starts as store.Views() (capacity-clamped, so post-build
+	// Inserts reallocate the slice header and append fresh rankings without
+	// touching the arena). Ids < store.Len() can therefore be validated by
+	// the batched kernel against contiguous memory; later ids fall back to
+	// per-ranking evaluation.
+	store    *kernel.Store
 	rankings []ranking.Ranking
+	// CSR posting layout, rebuilt on every epoch/compaction rebuild: dict is
+	// the sorted item dictionary, offsets[i]..offsets[i+1] delimits dict[i]'s
+	// postings inside the single packed arena. lists is kept as the O(1)
+	// item→list acceleration map; at build time its values are
+	// capacity-clamped views into the arena, so Insert's append copies a
+	// growing list out of the arena instead of clobbering its neighbor.
+	dict     []ranking.Item
+	offsets  []int
+	postings []Posting
 	lists    map[ranking.Item][]Posting
 	// deleted marks tombstoned ids; postings of tombstoned rankings remain
 	// in the lists until the owner rebuilds the index, and every query
@@ -46,30 +64,98 @@ type Index struct {
 	dead    int
 }
 
-// New indexes the collection. Rankings are referenced, not copied; ids are
-// their positions in the slice.
+// New indexes the collection. Rankings are copied into a flat k-strided
+// arena (see kernel.Store); ids are their positions in the slice.
 func New(rankings []ranking.Ranking) (*Index, error) {
-	idx := &Index{rankings: rankings, lists: make(map[ranking.Item][]Posting)}
-	if len(rankings) == 0 {
-		return idx, nil
+	if err := validateAll(rankings); err != nil {
+		return nil, err
 	}
-	idx.k = rankings[0].K()
-	if idx.k > 255 {
-		return nil, fmt.Errorf("invindex: k=%d exceeds the uint8 rank range", idx.k)
+	return newFromStore(kernel.NewStore(rankings)), nil
+}
+
+// NewFromStore indexes an existing flat store without re-copying it. The
+// hybrid engine uses this to share one arena across every backend of an
+// epoch.
+func NewFromStore(st *kernel.Store) (*Index, error) {
+	if err := validateAll(st.Views()); err != nil {
+		return nil, err
+	}
+	return newFromStore(st), nil
+}
+
+func validateAll(rankings []ranking.Ranking) error {
+	if len(rankings) == 0 {
+		return nil
+	}
+	k := rankings[0].K()
+	if k > 255 {
+		return fmt.Errorf("invindex: k=%d exceeds the uint8 rank range", k)
 	}
 	for id, r := range rankings {
-		if r.K() != idx.k {
-			return nil, fmt.Errorf("invindex: ranking %d has size %d, want %d: %w",
-				id, r.K(), idx.k, ranking.ErrSizeMismatch)
+		if r.K() != k {
+			return fmt.Errorf("invindex: ranking %d has size %d, want %d: %w",
+				id, r.K(), k, ranking.ErrSizeMismatch)
 		}
 		if err := r.Validate(); err != nil {
-			return nil, fmt.Errorf("invindex: ranking %d: %w", id, err)
-		}
-		for rank, item := range r {
-			idx.lists[item] = append(idx.lists[item], Posting{ID: ranking.ID(id), Rank: uint8(rank)})
+			return fmt.Errorf("invindex: ranking %d: %w", id, err)
 		}
 	}
-	return idx, nil
+	return nil
+}
+
+func newFromStore(st *kernel.Store) *Index {
+	idx := &Index{
+		k:        st.K(),
+		store:    st,
+		rankings: st.Views(),
+		lists:    make(map[ranking.Item][]Posting),
+	}
+	if st.Len() == 0 {
+		idx.k = 0 // preserve "k set on first Insert" semantics for empty indexes
+		return idx
+	}
+	idx.buildCSR()
+	return idx
+}
+
+// buildCSR packs the posting lists into one arena by counting sort: one pass
+// counts per-item occurrences, the dictionary is sorted, and a cursor pass
+// scatters {ID,Rank} pairs into their slots. Ids are visited in ascending
+// order, so every list comes out id-sorted — the invariant all query
+// algorithms (including ListMerge's merge join) rely on.
+func (idx *Index) buildCSR() {
+	st := idx.store
+	n, k := st.Len(), st.K()
+	flat := st.Flat()
+	counts := make(map[ranking.Item]int, n)
+	for _, it := range flat {
+		counts[it]++
+	}
+	dict := make([]ranking.Item, 0, len(counts))
+	for it := range counts {
+		dict = append(dict, it)
+	}
+	slices.Sort(dict)
+	offsets := make([]int, len(dict)+1)
+	cursor := make(map[ranking.Item]int, len(dict))
+	for i, it := range dict {
+		offsets[i+1] = offsets[i] + counts[it]
+		cursor[it] = offsets[i]
+	}
+	postings := make([]Posting, n*k)
+	for id := 0; id < n; id++ {
+		row := flat[id*k : (id+1)*k]
+		for rank, it := range row {
+			c := cursor[it]
+			postings[c] = Posting{ID: ranking.ID(id), Rank: uint8(rank)}
+			cursor[it] = c + 1
+		}
+	}
+	idx.dict, idx.offsets, idx.postings = dict, offsets, postings
+	for i, it := range dict {
+		lo, hi := offsets[i], offsets[i+1]
+		idx.lists[it] = postings[lo:hi:hi]
+	}
 }
 
 // K returns the ranking size.
@@ -99,6 +185,19 @@ func (idx *Index) Rankings() []ranking.Ranking { return idx.rankings }
 // List returns the posting list for an item (nil if the item is unseen).
 // The returned slice is owned by the index and must not be modified.
 func (idx *Index) List(item ranking.Item) []Posting { return idx.lists[item] }
+
+// Store exposes the flat build-time ranking arena (ids < Store().Len();
+// rankings inserted after the build live outside it).
+func (idx *Index) Store() *kernel.Store { return idx.store }
+
+// CSR exposes the packed build-time posting layout: the sorted item
+// dictionary, the offsets array (len(dict)+1 entries), and the single
+// postings arena, with dict[i]'s list at postings[offsets[i]:offsets[i+1]].
+// Postings appended by Insert after the build live in copied-out lists (see
+// List) and do not appear in the arena until the next rebuild.
+func (idx *Index) CSR() (dict []ranking.Item, offsets []int, postings []Posting) {
+	return idx.dict, idx.offsets, idx.postings
+}
 
 // NumLists returns the number of distinct items (index lists).
 func (idx *Index) NumLists() int { return len(idx.lists) }
@@ -135,11 +234,17 @@ type Searcher struct {
 	cands []ranking.ID
 	// Reused list-of-lists scratch for query item postings.
 	qlists [][]Posting
+	// Compiled distance kernel plus pooled validation scratch: dists and res
+	// are reused across queries so validate allocates only the exact-size
+	// result slice it hands back.
+	kern  *kernel.Kernel
+	dists []int
+	res   []ranking.Result
 }
 
 // NewSearcher creates a searcher bound to idx.
 func NewSearcher(idx *Index) *Searcher {
-	return &Searcher{idx: idx, stamp: make([]uint32, len(idx.rankings))}
+	return &Searcher{idx: idx, stamp: make([]uint32, len(idx.rankings)), kern: kernel.New()}
 }
 
 // Index returns the underlying index.
@@ -207,15 +312,55 @@ func (s *Searcher) FilterValidate(q ranking.Ranking, rawTheta int, ev *metric.Ev
 	return s.validate(q, rawTheta, ev), nil
 }
 
-// validate computes the exact distance of every collected candidate.
+// validate computes the exact distance of every collected candidate. When
+// the evaluator is the stock Footrule, the candidates are pushed through the
+// compiled kernel — build-time ids as one batched pass over the flat arena,
+// post-build ids per ranking — and accounted with ev.Add, so the DFC total
+// is byte-for-byte what the per-candidate ev.Distance loop would have
+// counted. A custom evaluator takes the legacy loop.
 func (s *Searcher) validate(q ranking.Ranking, rawTheta int, ev *metric.Evaluator) []ranking.Result {
-	var out []ranking.Result
-	for _, id := range s.cands {
-		if d := ev.Distance(q, s.idx.rankings[id]); d <= rawTheta {
-			out = append(out, ranking.Result{ID: id, Dist: d})
+	res := s.res[:0]
+	if len(s.cands) > 0 && ev.Stock() {
+		st := s.idx.store
+		baseN := ranking.ID(st.Len())
+		// Partition the candidate buffer in place: build-time ids first (the
+		// common case; after a fresh build this moves nothing), inserted ids
+		// after. Order is irrelevant — results are sorted below.
+		cands := s.cands
+		j := 0
+		for i, id := range cands {
+			if id < baseN {
+				cands[i], cands[j] = cands[j], cands[i]
+				j++
+			}
+		}
+		s.kern.Compile(q)
+		s.dists = s.kern.FootruleMany(st, cands[:j], s.dists[:0])
+		for i, id := range cands[:j] {
+			if d := s.dists[i]; d <= rawTheta {
+				res = append(res, ranking.Result{ID: id, Dist: d})
+			}
+		}
+		for _, id := range cands[j:] {
+			if d := s.kern.Distance(s.idx.rankings[id]); d <= rawTheta {
+				res = append(res, ranking.Result{ID: id, Dist: d})
+			}
+		}
+		ev.Add(uint64(len(cands)))
+	} else {
+		for _, id := range s.cands {
+			if d := ev.Distance(q, s.idx.rankings[id]); d <= rawTheta {
+				res = append(res, ranking.Result{ID: id, Dist: d})
+			}
 		}
 	}
-	ranking.SortResults(out)
+	ranking.SortResults(res)
+	var out []ranking.Result
+	if len(res) > 0 {
+		out = make([]ranking.Result, len(res))
+		copy(out, res)
+	}
+	s.res = res[:0]
 	return out
 }
 

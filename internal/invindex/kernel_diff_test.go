@@ -1,0 +1,209 @@
+package invindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"topk/internal/difftest"
+	"topk/internal/metric"
+	"topk/internal/ranking"
+)
+
+// TestKernelPathMatchesEvaluator proves the compiled/batched kernel path of
+// validate byte-identical — results AND DFC — to the legacy per-candidate
+// ev.Distance loop, which stays reachable through a custom evaluator wrapping
+// the same stock Footrule.
+func TestKernelPathMatchesEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, k, domain = 400, 12, 300
+	rs := difftest.RandomCollection(rng, n, k, domain)
+	idx, err := New(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push some candidates past the build-time store so validate's inserted-id
+	// tail path runs too, and tombstone a few.
+	for i := 0; i < 40; i++ {
+		if _, err := idx.Insert(difftest.Perturb(rng, rs[rng.Intn(n)], domain)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if err := idx.Delete(ranking.ID(rng.Intn(n))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sKern := NewSearcher(idx)
+	sLegacy := NewSearcher(idx)
+	dmax := ranking.MaxDistance(k)
+	for trial := 0; trial < 60; trial++ {
+		q := difftest.RandomRanking(rng, k, domain)
+		if rng.Intn(2) == 0 {
+			q = rs[rng.Intn(n)]
+		}
+		for _, raw := range []int{0, dmax / 10, dmax / 4, dmax / 2, dmax - 1} {
+			evK := metric.New(nil)              // stock → kernel path
+			evL := metric.New(ranking.Footrule) // custom → legacy loop
+			if evK.Stock() == evL.Stock() {
+				t.Fatal("evaluator Stock flags did not diverge")
+			}
+			gotK, err := sKern.FilterValidate(q, raw, evK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotL, err := sLegacy.FilterValidate(q, raw, evL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !difftest.Equal(gotK, gotL) {
+				t.Fatalf("raw=%d: kernel results %v != legacy results %v", raw, gotK, gotL)
+			}
+			if evK.Calls() != evL.Calls() {
+				t.Fatalf("raw=%d: kernel DFC %d != legacy DFC %d", raw, evK.Calls(), evL.Calls())
+			}
+			evK.Reset()
+			evL.Reset()
+			gotK, err = sKern.FilterValidateDrop(q, raw, evK, DropSafe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotL, err = sLegacy.FilterValidateDrop(q, raw, evL, DropSafe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !difftest.Equal(gotK, gotL) || evK.Calls() != evL.Calls() {
+				t.Fatalf("drop raw=%d: kernel (%d calls) and legacy (%d calls) diverge", raw, evK.Calls(), evL.Calls())
+			}
+		}
+	}
+}
+
+// TestCSRLayoutDifferential pins the CSR posting layout against an
+// independently built map layout, through build, post-insert, and
+// post-compaction (rebuild) states, and checks the structural invariants of
+// the arena.
+func TestCSRLayoutDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n, k, domain = 300, 10, 200
+	rs := difftest.RandomCollection(rng, n, k, domain)
+
+	naive := func(rankings []ranking.Ranking) map[ranking.Item][]Posting {
+		m := make(map[ranking.Item][]Posting)
+		for id, r := range rankings {
+			for rank, it := range r {
+				m[it] = append(m[it], Posting{ID: ranking.ID(id), Rank: uint8(rank)})
+			}
+		}
+		return m
+	}
+	checkAgainst := func(idx *Index, want map[ranking.Item][]Posting) {
+		t.Helper()
+		if idx.NumLists() != len(want) {
+			t.Fatalf("NumLists=%d want %d", idx.NumLists(), len(want))
+		}
+		for it, wl := range want {
+			gl := idx.List(it)
+			if len(gl) != len(wl) {
+				t.Fatalf("item %d: list length %d want %d", it, len(gl), len(wl))
+			}
+			for i := range wl {
+				if gl[i] != wl[i] {
+					t.Fatalf("item %d posting %d: %+v want %+v", it, i, gl[i], wl[i])
+				}
+			}
+		}
+	}
+	checkCSRInvariants := func(idx *Index) {
+		t.Helper()
+		dict, offsets, postings := idx.CSR()
+		if len(offsets) != len(dict)+1 {
+			t.Fatalf("offsets len %d, dict len %d", len(offsets), len(dict))
+		}
+		if offsets[len(dict)] != len(postings) {
+			t.Fatalf("final offset %d != arena size %d", offsets[len(dict)], len(postings))
+		}
+		for i := 1; i < len(dict); i++ {
+			if dict[i-1] >= dict[i] {
+				t.Fatalf("dict not strictly sorted at %d: %d >= %d", i, dict[i-1], dict[i])
+			}
+			if offsets[i] < offsets[i-1] {
+				t.Fatalf("offsets not monotone at %d", i)
+			}
+		}
+		for i, it := range dict {
+			seg := postings[offsets[i]:offsets[i+1]]
+			for j := 1; j < len(seg); j++ {
+				if seg[j-1].ID >= seg[j].ID {
+					t.Fatalf("item %d: arena segment not id-sorted", it)
+				}
+			}
+		}
+	}
+
+	idx, err := New(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainst(idx, naive(rs))
+	checkCSRInvariants(idx)
+	if _, _, postings := idx.CSR(); len(postings) != n*k {
+		t.Fatalf("arena holds %d postings, want %d", len(postings), n*k)
+	}
+
+	// Post-mutation state: inserts must extend the map lists (copying out of
+	// the capacity-clamped arena views) while leaving the arena itself
+	// untouched, so build-time invariants keep holding.
+	live := append([]ranking.Ranking(nil), rs...)
+	for i := 0; i < 50; i++ {
+		r := difftest.Perturb(rng, live[rng.Intn(len(live))], domain)
+		if _, err := idx.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, r)
+	}
+	checkAgainst(idx, naive(live))
+	checkCSRInvariants(idx)
+	if _, _, postings := idx.CSR(); len(postings) != n*k {
+		t.Fatalf("insert grew the arena to %d postings", len(postings))
+	}
+
+	// Post-compaction state: tombstone a third, rebuild over the survivors
+	// (exactly what the facade's compaction does), and re-check the fresh
+	// CSR arena against the naive layout of the compacted collection.
+	o := difftest.NewOracle(live)
+	for i := 0; i < len(live)/3; i++ {
+		id := ranking.ID(rng.Intn(len(live)))
+		if !o.Live(id) {
+			continue
+		}
+		if err := idx.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compacted, err := New(o.LiveRankings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainst(compacted, naive(o.LiveRankings()))
+	checkCSRInvariants(compacted)
+
+	// And the compacted index answers exactly like the oracle (dense-remapped).
+	s := NewSearcher(compacted)
+	dmax := ranking.MaxDistance(k)
+	for trial := 0; trial < 40; trial++ {
+		q := difftest.RandomRanking(rng, k, domain)
+		for _, raw := range []int{0, dmax / 6, dmax / 3, dmax - 1} {
+			got, err := s.FilterValidate(q, raw, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := o.RemapToDense(o.SearchRaw(q, raw))
+			if !difftest.Equal(got, want) {
+				t.Fatalf("raw=%d: got %v want %v", raw, got, want)
+			}
+		}
+	}
+}

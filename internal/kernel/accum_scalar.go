@@ -1,0 +1,31 @@
+//go:build !topk_unroll
+
+package kernel
+
+import "topk/internal/ranking"
+
+// distDense is the scalar dense-mode evaluation pass: one probe per candidate
+// position, matched-rank-sum correction folded into the same loop. The
+// build-tagged variant in accum_unroll.go (-tags topk_unroll) computes the
+// identical function with the loop unrolled 4-wide; the differential suite
+// pins both against Reference.
+func (kn *Kernel) distDense(tau ranking.Ranking) int {
+	k, limit, gen := kn.k, kn.limit, kn.gen
+	rank, stamp := kn.rank, kn.stamp
+	d, matched, mqs := 0, 0, 0
+	for pt, it := range tau {
+		if uint32(it) < limit && stamp[it] == gen {
+			pq := int(rank[it])
+			delta := pq - pt
+			if delta < 0 {
+				delta = -delta
+			}
+			d += delta
+			matched++
+			mqs += pq
+		} else {
+			d += k - pt
+		}
+	}
+	return d + (k-matched)*k - (kn.totalQSum - mqs)
+}

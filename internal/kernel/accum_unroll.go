@@ -1,0 +1,85 @@
+//go:build topk_unroll
+
+package kernel
+
+import "topk/internal/ranking"
+
+// distDense: 4-wide unrolled variant of the dense evaluation pass (see
+// accum_scalar.go for the reference shape). Selected with -tags topk_unroll.
+// Four independent probe chains per iteration give the CPU more memory-level
+// parallelism on the stamp/rank loads; the remainder tail reuses the scalar
+// body. Must stay byte-identical to the scalar variant — the kernel test
+// suite runs under both tags.
+func (kn *Kernel) distDense(tau ranking.Ranking) int {
+	k, limit, gen := kn.k, kn.limit, kn.gen
+	rank, stamp := kn.rank, kn.stamp
+	d, matched, mqs := 0, 0, 0
+	pt := 0
+	for ; pt+4 <= len(tau); pt += 4 {
+		i0, i1, i2, i3 := tau[pt], tau[pt+1], tau[pt+2], tau[pt+3]
+		if uint32(i0) < limit && stamp[i0] == gen {
+			pq := int(rank[i0])
+			delta := pq - pt
+			if delta < 0 {
+				delta = -delta
+			}
+			d += delta
+			matched++
+			mqs += pq
+		} else {
+			d += k - pt
+		}
+		if uint32(i1) < limit && stamp[i1] == gen {
+			pq := int(rank[i1])
+			delta := pq - (pt + 1)
+			if delta < 0 {
+				delta = -delta
+			}
+			d += delta
+			matched++
+			mqs += pq
+		} else {
+			d += k - (pt + 1)
+		}
+		if uint32(i2) < limit && stamp[i2] == gen {
+			pq := int(rank[i2])
+			delta := pq - (pt + 2)
+			if delta < 0 {
+				delta = -delta
+			}
+			d += delta
+			matched++
+			mqs += pq
+		} else {
+			d += k - (pt + 2)
+		}
+		if uint32(i3) < limit && stamp[i3] == gen {
+			pq := int(rank[i3])
+			delta := pq - (pt + 3)
+			if delta < 0 {
+				delta = -delta
+			}
+			d += delta
+			matched++
+			mqs += pq
+		} else {
+			d += k - (pt + 3)
+		}
+	}
+	for ; pt < len(tau); pt++ {
+		it := tau[pt]
+		if uint32(it) < limit && stamp[it] == gen {
+			pq := int(rank[it])
+			delta := pq - pt
+			if delta < 0 {
+				delta = -delta
+			}
+			d += delta
+			matched++
+			mqs += pq
+		} else {
+			d += k - pt
+		}
+	}
+	return d + (k-matched)*k - (kn.totalQSum - mqs)
+}

@@ -14,17 +14,26 @@ type DistFunc func(a, b ranking.Ranking) int
 // processing in this library is single-threaded per evaluator, matching the
 // paper's sequential measurements (run one evaluator per goroutine).
 type Evaluator struct {
-	fn    DistFunc
-	calls uint64
+	fn     DistFunc
+	calls  uint64
+	custom bool
 }
 
 // New returns an evaluator for fn. A nil fn selects ranking.Footrule.
 func New(fn DistFunc) *Evaluator {
 	if fn == nil {
-		fn = ranking.Footrule
+		return &Evaluator{fn: ranking.Footrule}
 	}
-	return &Evaluator{fn: fn}
+	return &Evaluator{fn: fn, custom: true}
 }
+
+// Stock reports whether the evaluator computes the stock Footrule metric
+// (nil fn passed to New, or the zero value). Backends may then substitute a
+// semantically identical fast path — the compiled kernel — and account its
+// evaluations through Add, keeping DFC totals byte-for-byte identical. An
+// evaluator wrapping a custom DistFunc returns false and must be driven
+// through Distance.
+func (e *Evaluator) Stock() bool { return !e.custom }
 
 // Distance computes the distance between a and b and counts one call.
 func (e *Evaluator) Distance(a, b ranking.Ranking) int {

@@ -14,7 +14,7 @@ package ranking
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -139,7 +139,7 @@ func (r Ranking) Overlap(s Ranking) int {
 func (r Ranking) Domain() []Item {
 	d := make([]Item, len(r))
 	copy(d, r)
-	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	slices.Sort(d)
 	return d
 }
 
@@ -348,14 +348,24 @@ func KendallTau(a, b Ranking) int {
 			union = append(union, it)
 		}
 	}
+	// Precompute both rank tables over the union once; probing Rank (a linear
+	// scan) four times inside the pair loop below made this O(k³).
+	n := len(union)
+	aRank := make([]int, n)
+	bRank := make([]int, n)
+	aHas := make([]bool, n)
+	bHas := make([]bool, n)
+	for x, it := range union {
+		aRank[x], aHas[x] = a.Rank(it)
+		bRank[x], bHas[x] = b.Rank(it)
+	}
 	d := 0
-	for x := 1; x < len(union); x++ {
+	for x := 1; x < n; x++ {
 		for y := 0; y < x; y++ {
-			i, j := union[y], union[x]
-			ra, aHasI := a.Rank(i)
-			rb, aHasJ := a.Rank(j)
-			sa, bHasI := b.Rank(i)
-			sb, bHasJ := b.Rank(j)
+			ra, aHasI := aRank[y], aHas[y]
+			rb, aHasJ := aRank[x], aHas[x]
+			sa, bHasI := bRank[y], bHas[y]
+			sb, bHasJ := bRank[x], bHas[x]
 			switch {
 			case aHasI && aHasJ && bHasI && bHasJ:
 				if (ra < rb) != (sa < sb) {
@@ -417,10 +427,12 @@ func FootruleWithLookup(qRanks map[Item]int, k int, tau Ranking) int {
 	}
 	d := 0
 	matched := 0
+	matchedQSum := 0
 	for pt, it := range tau {
 		if pq, ok := qRanks[it]; ok {
 			d += abs(pq - pt)
 			matched++
+			matchedQSum += pq
 		} else {
 			d += k - pt
 		}
@@ -428,12 +440,6 @@ func FootruleWithLookup(qRanks map[Item]int, k int, tau Ranking) int {
 	// Query items absent from tau: there are k − matched of them; their
 	// ranks are exactly the q-ranks not matched. Recover their sum from the
 	// total rank sum k(k−1)/2 minus the matched q-rank sum.
-	matchedQSum := 0
-	for _, it := range tau {
-		if pq, ok := qRanks[it]; ok {
-			matchedQSum += pq
-		}
-	}
 	totalQSum := k * (k - 1) / 2
 	d += (k-matched)*k - (totalQSum - matchedQSum)
 	return d
