@@ -10,7 +10,7 @@
 //	topkbench -experiment sweep -json bench.json
 //
 // Experiments: fig3 fig5 fig6 fig7 tab5 fig8 fig9 fig10 tab6 stats parallel
-// sweep rebuild
+// sweep rebuild wal overload tenants kernels
 //
 // The parallel experiment (also selectable with the -parallel shorthand) is
 // not from the paper: it measures multicore query throughput of one shared
@@ -44,6 +44,16 @@
 // requests keep a bounded tail latency while the excess is shed
 // explicitly; -json writes the two records (BENCH_overload.json).
 //
+// The tenants experiment (also not from the paper) measures the
+// noisy-neighbor behavior of the multi-tenant serving core: two tenants
+// share one admission capacity, one floods at several times the sustainable
+// rate while the other sends paced traffic, once with both contending on
+// the shared controller and once with per-tenant 0.5-weight carves (the
+// registry's admission path for collections created with a weight). The
+// records show the carves confining the flood's queueing to its own share,
+// keeping the paced tenant's tail latency bounded; -json writes the four
+// records (BENCH_tenants.json).
+//
 // The kernels experiment (also not from the paper) microbenchmarks the
 // distance-kernel layer: single vs compiled Footrule, query compilation,
 // full candidate-buffer validation via the scalar path vs the batched
@@ -67,7 +77,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id: fig3|fig5|fig6|fig7|tab5|fig8|fig9|fig10|tab6|stats|parallel|sweep|rebuild|wal|overload|kernels|all")
+		experiment = flag.String("experiment", "all", "experiment id: fig3|fig5|fig6|fig7|tab5|fig8|fig9|fig10|tab6|stats|parallel|sweep|rebuild|wal|overload|tenants|kernels|all")
 		scaleName  = flag.String("scale", "small", "dataset scale: small|medium|default")
 		k          = flag.Int("k", 10, "ranking size for the single-k experiments")
 		parallel   = flag.Bool("parallel", false, "shorthand for -experiment parallel (multicore throughput)")
@@ -96,17 +106,18 @@ func main() {
 	}
 	if *jsonPath != "" {
 		// -json implies the sweep unless an experiment that writes its own
-		// JSON records (sweep, wal, overload, kernels) is already selected;
-		// selecting more than one with a single output path would overwrite
-		// the earlier records.
+		// JSON records (sweep, wal, overload, tenants, kernels) is already
+		// selected; selecting more than one with a single output path would
+		// overwrite the earlier records.
 		writers := 0
 		for _, id := range ids {
-			if id := strings.TrimSpace(id); id == "sweep" || id == "wal" || id == "overload" || id == "kernels" {
+			switch strings.TrimSpace(id) {
+			case "sweep", "wal", "overload", "tenants", "kernels":
 				writers++
 			}
 		}
 		if writers > 1 {
-			fmt.Fprintln(os.Stderr, "-json with more than one of sweep/wal/overload/kernels would overwrite records; run them separately")
+			fmt.Fprintln(os.Stderr, "-json with more than one of sweep/wal/overload/tenants/kernels would overwrite records; run them separately")
 			os.Exit(2)
 		}
 		if writers == 0 {
@@ -129,6 +140,11 @@ func main() {
 		case "overload":
 			if err := runOverload(sc, *k, *jsonPath); err != nil {
 				fmt.Fprintf(os.Stderr, "experiment overload: %v\n", err)
+				os.Exit(1)
+			}
+		case "tenants":
+			if err := runTenants(sc, *k, *jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "experiment tenants: %v\n", err)
 				os.Exit(1)
 			}
 		case "kernels":
@@ -206,6 +222,36 @@ func runOverload(sc bench.Scale, k int, jsonPath string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d overload records to %s\n", len(recs), jsonPath)
+	return nil
+}
+
+// runTenants runs the noisy-neighbor experiment on the NYT-like dataset and
+// optionally writes the four (mode, tenant) records as JSON (the
+// BENCH_tenants.json artifact).
+func runTenants(sc bench.Scale, k int, jsonPath string) error {
+	nyt, _, err := bench.Envs(sc, k)
+	if err != nil {
+		return err
+	}
+	recs, t, err := bench.Tenants(nyt, bench.TenantsConfig{})
+	if err != nil {
+		return err
+	}
+	t.Fprint(os.Stdout)
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d tenants records to %s\n", len(recs), jsonPath)
 	return nil
 }
 

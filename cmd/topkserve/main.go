@@ -1,121 +1,84 @@
 // Command topkserve is a sharded concurrent query service for top-k-list
-// similarity search: it partitions a ranking collection across S sub-indices
+// similarity search: it partitions ranking collections across S sub-indices
 // (one per core by default), fans every query out to all shards in parallel,
-// and serves exact range queries over HTTP.
+// and serves exact range queries over HTTP — one or many named collections
+// per process.
 //
 // Usage:
 //
 //	topkgen -preset nyt -n 50000 | topkserve -data - -kind hybrid
 //	topkserve -load-snapshot rankings.bin -kind blocked-drop -shards 8
 //	topkserve -load-snapshot rankings.bin -kind hybrid -wal /var/lib/topk/wal
+//	topkserve -kind hybrid -wal-root /var/lib/topk    # multi-tenant, starts empty
 //
-// Endpoints:
+// Collection lifecycle (multi-tenant):
 //
-//	POST /search   {"query":[1,2,3],"theta":0.2}            single query
-//	               {"queries":[[1,2,3],[4,5,6]],"theta":0.2} batch
-//	               {"queries":[...],"thetas":[0.1,0.3]}      mixed-radius batch
-//	POST /knn      {"query":[1,2,3],"n":5}      exact k-nearest neighbors
-//	POST /insert   {"ranking":[1,2,3]}          add a ranking, returns its id
-//	POST /delete   {"id":7}                     remove a ranking
-//	POST /update   {"id":7,"ranking":[3,2,1]}   replace a ranking, id stable
-//	GET  /snapshot binary persist-v2 snapshot of the live collection
-//	POST /checkpoint  (-wal only) durable snapshot into the WAL directory,
-//	               then truncate the replayed log segments
-//	GET  /stats    live collection size, per-shard Len/Tombstones/Delta/
-//	               Rebuilds/DistanceCalls/latency histograms, fan-out and
-//	               merge timings; for -kind hybrid also the per-backend plan
-//	               counters of the planner
+//	PUT    /collections/{name}  create an empty mutable collection; optional
+//	                            JSON body {"kind","shards","k","maxTheta",
+//	                            "forceBackend","calibrate","deltaRatio",
+//	                            "weight"} overrides the server defaults
+//	DELETE /collections/{name}  drain in-flight requests, drop the collection
+//	                            and remove its WAL directory
+//	GET    /collections[/name]  shape, counters and durability lag
+//
+// Data endpoints, rooted per collection at /c/{name}/... — the classic
+// single-collection routes (/search, /knn, ...) remain as aliases for the
+// -default-collection:
+//
+//	POST /c/{name}/search   {"query":[1,2,3],"theta":0.2}            single query
+//	                        {"queries":[[1,2,3],[4,5,6]],"theta":0.2} batch
+//	                        {"queries":[...],"thetas":[0.1,0.3]}      mixed-radius batch
+//	POST /c/{name}/knn      {"query":[1,2,3],"n":5}      exact k-nearest neighbors
+//	POST /c/{name}/insert   {"ranking":[1,2,3]}          add a ranking, returns its id
+//	POST /c/{name}/delete   {"id":7}                     remove a ranking
+//	POST /c/{name}/update   {"id":7,"ranking":[3,2,1]}   replace a ranking, id stable
+//	GET  /c/{name}/snapshot binary persist-v2 snapshot of the live collection
+//	POST /c/{name}/checkpoint  durable snapshot into the collection's WAL
+//	                        directory, then truncate the replayed log segments
+//	GET  /c/{name}/stats    live collection size, per-shard Len/Tombstones/
+//	                        Delta/Rebuilds/DistanceCalls/latency histograms,
+//	                        fan-out and merge timings; for hybrid also the
+//	                        per-backend plan counters of the planner
 //	GET  /metrics  Prometheus text exposition: HTTP request/error/in-flight/
-//	               latency by route and status, per-shard query histograms,
-//	               fan-out and merge timings, planner plan/mispredict
-//	               counters, WAL and epoch-rebuild counters, Go runtime stats
+//	               latency by route and status, and per-collection shard,
+//	               planner, WAL and epoch-rebuild families labeled with a
+//	               bounded collection label
 //	GET  /healthz  liveness probe (200 as long as the process serves HTTP)
-//	GET  /readyz   readiness probe (503 until the initial index build and
+//	GET  /readyz   readiness probe (503 until every collection's build and
 //	               WAL replay finish, 200 after)
 //	GET  /debug/trace  ring of the most recent per-request traces: request
-//	               id, per-stage timings, hybrid backend attribution
+//	               id, collection, per-stage timings, backend attribution
 //
-// Observability: every request carries an X-Request-ID (generated when the
-// client sends none) and records a span per stage (parse, plan, fan-out,
-// merge, respond). -slow-query logs any request at least that slow to
-// stderr as one-line JSON; -debug-addr starts a separate net/http/pprof
-// listener for live profiling.
+// Every handler error — including unknown routes and method mismatches — is
+// a JSON body {"error": <message>, "code": <slug>}.
 //
-// Traffic hardening: request contexts propagate into the shard fan-out, so
-// a client that disconnects (or a -default-timeout that fires) stops the
-// search from scheduling further shard work — cancellation answers 499,
-// timeouts 504. -max-concurrency bounds concurrent search weight (one unit
-// per batch member) with a FIFO wait queue (-max-queue, -max-queue-wait);
-// past it requests are shed with 429 + Retry-After instead of collapsing
-// latency for everyone. -cache-entries enables an LRU result cache for
-// single /search queries and /knn, invalidated wholesale by any acked
-// mutation or epoch rebuild via a generation stamp.
+// Durability: -wal <dir> keeps the classic single-collection layout (the
+// default collection's log lives directly in the directory). -wal-root
+// <dir> is the multi-tenant layout: one subdirectory per collection plus a
+// CRC-checked MANIFEST recording every dynamically created collection, all
+// of which are recovered — checkpoint plus logged suffix — on restart.
 //
-// The hybrid kind (-kind hybrid) builds every physical backend per shard
-// and routes each query to the one the cost model predicts cheapest;
-// -force-backend pins routing and -calibrate replays sample queries against
-// all backends at startup (both are rejected at startup for any other
-// kind). Uniform-threshold batches are answered with shared-candidate
-// processing (the paper's Section 8 batch mode) when the index kind
-// supports it; mixed-radius batches fall back to per-query search.
-//
-// Mutations are supported by the mutable index kinds (hybrid, coarse*,
-// inverted*, merge). The hybrid engine absorbs them across all five
-// backends: the dynamic ones in place, the static ones through a delta
-// overlay that a background epoch rebuild folds back in once it outgrows
-// -delta-ratio (watch the per-shard delta/rebuilds counters on /stats).
-// The read-only kinds (blocked*, bktree, mtree, vptree) serve search
-// traffic only and reject mutations with 405. Request bodies on every
-// endpoint are bounded by -max-body; larger ones get 413. GET /snapshot
-// saved to a file and passed back via -load-snapshot reloads with all ids
-// preserved — tombstoned ids stay retired; v1 snapshots load as all-live
-// collections.
-//
-// Durability: -wal <dir> makes mutations crash-safe. Every acked
-// Insert/Delete/Update is appended to an on-disk write-ahead log before the
-// response is sent (sync policy via -wal-sync-every / -wal-sync-interval),
-// and on startup the server recovers by loading the newest checkpoint in
-// the WAL directory (falling back to -load-snapshot / -data for the base)
-// and replaying the logged suffix through the shard router. POST
-// /checkpoint streams a consistent v2 snapshot into the WAL directory and
-// truncates the replayed log segments; /stats reports the WAL counters.
+// See the package comment of internal/server for the serving-core design;
+// this command is flag parsing plus server.New(cfg).Run(ctx).
 package main
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"runtime"
-	"runtime/debug"
-	"strconv"
-	"strings"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"topk"
-	"topk/internal/admit"
-	"topk/internal/persist"
-	"topk/internal/qcache"
-	"topk/internal/ranking"
-	"topk/internal/shard"
-	"topk/internal/wal"
+	"topk/internal/server"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
-		dataPath   = flag.String("data", "", "collection path (- = stdin), one ranking per line")
+		dataPath   = flag.String("data", "", "default collection path (- = stdin), one ranking per line")
 		snapPath   = flag.String("load-snapshot", "", "binary collection snapshot (see topkgen -format binary / topkquery -save-snapshot)")
 		kind       = flag.String("kind", "coarse", "hybrid|coarse|coarse-drop|inverted|inverted-drop|merge|blocked|blocked-drop|bktree|mtree|vptree")
 		shards     = flag.Int("shards", 0, "number of shards (0 = GOMAXPROCS)")
@@ -123,1277 +86,58 @@ func main() {
 		force      = flag.String("force-backend", "", "hybrid only: pin all routing to one backend (inverted|blocked|coarse|bktree|adaptsearch)")
 		calibrate  = flag.Int("calibrate", 0, "hybrid only: replay this many sample queries per shard against every backend at startup")
 		deltaRatio = flag.Float64("delta-ratio", topk.DefaultCompactionRatio, "hybrid only: mutation-overlay fraction per shard above which a background epoch rebuild folds the delta into every backend (<= 0 disables)")
-		maxBody    = flag.Int64("max-body", defaultMaxBody, "maximum request body size in bytes on every endpoint; larger bodies get 413")
-		walDir     = flag.String("wal", "", "write-ahead-log directory: append every acked mutation before responding, recover checkpoint+log on startup (mutable kinds only)")
+		maxBody    = flag.Int64("max-body", 16<<20, "maximum request body size in bytes on every endpoint; larger bodies get 413")
+		walDir     = flag.String("wal", "", "single-collection write-ahead-log directory: append every acked mutation before responding, recover checkpoint+log on startup (mutable kinds only)")
+		walRoot    = flag.String("wal-root", "", "multi-tenant WAL root: one subdirectory per collection plus a MANIFEST; dynamically created collections become durable and are recovered on restart")
 		walEvery   = flag.Int("wal-sync-every", 1, "fsync the WAL after every n-th mutation (1 = synchronous commit, 0 = rely on -wal-sync-interval and shutdown)")
 		walIvl     = flag.Duration("wal-sync-interval", 0, "background WAL fsync interval (0 disables; combines with -wal-sync-every)")
 		slowQuery  = flag.Duration("slow-query", 0, "log any request at least this slow to stderr as one-line JSON with per-stage timings (0 disables)")
 		debugAddr  = flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty disables)")
 		defTimeout = flag.Duration("default-timeout", 0, "per-request deadline on /search and /knn: past it the shard fan-out stops scheduling work and the client gets 504 (0 disables)")
-		maxConc    = flag.Int("max-concurrency", 0, "admission control: concurrent search weight bound, one unit per batch member (0 = 2x GOMAXPROCS, negative disables admission control entirely)")
+		maxConc    = flag.Int("max-concurrency", 0, "admission control: concurrent search weight bound shared by all collections, one unit per batch member (0 = 2x GOMAXPROCS, negative disables admission control entirely)")
 		maxQueue   = flag.Int("max-queue", 0, "admission control: requests allowed to wait for a search slot before shedding with 429 (0 = 4x effective -max-concurrency)")
 		maxWait    = flag.Duration("max-queue-wait", time.Second, "admission control: longest a queued request waits for a slot before shedding with 429 (0 = wait as long as the request's own deadline allows)")
-		cacheSize  = flag.Int("cache-entries", 0, "query-result cache capacity in entries for /search single queries and /knn; any acked mutation or epoch rebuild invalidates (0 disables)")
+		cacheSize  = flag.Int("cache-entries", 0, "query-result cache capacity in entries for /search single queries and /knn, shared across collections with per-collection scoping; any acked mutation or epoch rebuild invalidates (0 disables)")
+		defColl    = flag.String("default-collection", server.DefaultCollectionName, "name the legacy single-collection routes (/search, /insert, ...) alias to")
 	)
 	flag.StringVar(kind, "index", *kind, "deprecated alias for -kind")
 	flag.Parse()
 	set := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if err := validateKindFlags(*kind, set); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *walDir != "" && !mutableKind(*kind) {
-		fmt.Fprintf(os.Stderr, "-wal applies only to mutable index kinds (have %q)\n", *kind)
-		os.Exit(2)
-	}
 
-	// The listener comes up before the index builds: /healthz answers
-	// (liveness) and /readyz holds 503 (readiness) throughout the build and
-	// WAL replay, and install flips the index-backed routes live at the end.
-	s := newServer(nil, *kind)
-	s.maxBody = *maxBody
-	s.tracer.slowQuery = *slowQuery
-	s.defaultTimeout = *defTimeout
-	s.admission = newAdmission(*maxConc, *maxQueue, *maxWait)
-	s.cache = qcache.New(*cacheSize)
-	ln, err := net.Listen("tcp", *addr)
+	srv, err := server.New(server.Config{
+		Addr:              *addr,
+		DataPath:          *dataPath,
+		SnapshotPath:      *snapPath,
+		DefaultCollection: *defColl,
+		Kind:              *kind,
+		Shards:            *shards,
+		MaxTheta:          *maxTheta,
+		ForceBackend:      *force,
+		Calibrate:         *calibrate,
+		DeltaRatio:        *deltaRatio,
+		MaxBody:           *maxBody,
+		WALDir:            *walDir,
+		WALRoot:           *walRoot,
+		WALSyncEvery:      *walEvery,
+		WALSyncInterval:   *walIvl,
+		SlowQuery:         *slowQuery,
+		DebugAddr:         *debugAddr,
+		DefaultTimeout:    *defTimeout,
+		MaxConcurrency:    *maxConc,
+		MaxQueue:          *maxQueue,
+		MaxQueueWait:      *maxWait,
+		CacheEntries:      *cacheSize,
+		SetFlags:          set,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(2)
 	}
-	if *debugAddr != "" {
-		if err := serveDebug(*debugAddr); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-	srv := &http.Server{Handler: s.routes()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "listening on %s\n", ln.Addr())
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- serveUntilShutdown(ctx, srv, ln, s, 5*time.Second) }()
-
-	rankings, cpSeq, err := loadBase(*dataPath, *snapPath, *walDir)
-	if err != nil {
+	if err := srv.Run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if !mutableKind(*kind) {
-		// Read-only kinds cannot represent retired ids: compact any
-		// tombstoned snapshot slots away and renumber densely.
-		if compacted, dropped := dropTombstones(rankings); dropped > 0 {
-			fmt.Fprintf(os.Stderr, "index kind %q is read-only: compacted %d tombstoned slots (ids renumbered)\n",
-				*kind, dropped)
-			rankings = compacted
-		}
-	}
-	start := time.Now()
-	sh, err := shard.New(rankings, *shards, builderFor(*kind, *maxTheta, *force, *calibrate, *deltaRatio))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "indexed %d rankings (k=%d) as %d %s shards in %v\n",
-		sh.Len(), sh.K(), sh.NumShards(), *kind, time.Since(start).Round(time.Millisecond))
-
-	if *walDir != "" && sh.K() > 255 {
-		// The WAL record format (and the persist checkpoint reader) cap k at
-		// 255. Failing here beats dying on the first client mutation.
-		fmt.Fprintf(os.Stderr, "-wal supports ranking sizes up to 255, collection has k=%d\n", sh.K())
-		os.Exit(2)
-	}
-	var wlog *wal.Log
-	replayed := 0
-	if *walDir != "" {
-		if replayed, err = recoverWAL(*walDir, cpSeq, sh); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if wlog, err = wal.Open(*walDir, wal.WithSyncEvery(*walEvery), wal.WithSyncInterval(*walIvl)); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "wal %s: replayed %d records, %d live rankings, appending to segment %d\n",
-			*walDir, replayed, sh.Len(), wlog.Stats().ActiveSegment)
-	}
-	s.install(sh, wlog, replayed)
-	fmt.Fprintf(os.Stderr, "ready\n")
-
-	if err := <-serveErr; err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
-
-// newAdmission resolves the admission-control flags into a controller.
-// maxConc < 0 disables admission entirely (nil controller admits everything);
-// 0 defaults to twice GOMAXPROCS — enough to keep every core busy through
-// the fan-out while bounding memory and tail latency. maxQueue 0 defaults to
-// four waiters per slot.
-func newAdmission(maxConc, maxQueue int, maxWait time.Duration) *admit.Controller {
-	if maxConc < 0 {
-		return nil
-	}
-	if maxConc == 0 {
-		maxConc = 2 * runtime.GOMAXPROCS(0)
-	}
-	if maxQueue == 0 {
-		maxQueue = 4 * maxConc
-	}
-	return admit.New(int64(maxConc), maxQueue, maxWait)
-}
-
-// serveDebug starts the pprof listener: a separate address so profiling is
-// never exposed on the serving port.
-func serveDebug(addr string) error {
-	dln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	dmux := http.NewServeMux()
-	dmux.HandleFunc("/debug/pprof/", pprof.Index)
-	dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	fmt.Fprintf(os.Stderr, "pprof listening on %s\n", dln.Addr())
-	go func() {
-		if err := http.Serve(dln, dmux); err != nil {
-			fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
-		}
-	}()
-	return nil
-}
-
-// serveUntilShutdown runs srv on ln until ctx is cancelled, then drains: it
-// waits for srv.Shutdown to finish handing back every in-flight request —
-// not merely for Serve to return, which happens the moment the listener
-// closes, while handlers are still running — and flushes and closes the WAL
-// only after the last response is written, so a mutation acked during the
-// drain is on disk before exit.
-func serveUntilShutdown(ctx context.Context, srv *http.Server, ln net.Listener, s *server, drainTimeout time.Duration) error {
-	drained := make(chan struct{})
-	go func() {
-		defer close(drained)
-		<-ctx.Done()
-		shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
-		defer cancel()
-		if err := srv.Shutdown(shutCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
-		}
-	}()
-	err := srv.Serve(ln)
-	// install publishes s.wal under walMu while this goroutine is serving,
-	// so read it under the same lock.
-	s.walMu.Lock()
-	wlog := s.wal
-	s.walMu.Unlock()
-	if err != nil && !errors.Is(err, http.ErrServerClosed) {
-		// Serve failed on its own: ctx may never be cancelled, so don't wait
-		// for the drain goroutine — just flush whatever the WAL holds.
-		if wlog != nil {
-			wlog.Close()
-		}
-		return err
-	}
-	<-drained
-	if wlog != nil {
-		if cerr := wlog.Close(); cerr != nil {
-			return fmt.Errorf("wal close: %w", cerr)
-		}
-	}
-	return nil
-}
-
-// loadBase resolves the collection the index is built from. With a WAL
-// directory that holds a checkpoint, the checkpoint wins — it reflects every
-// mutation up to its sequence, which -data/-load-snapshot predate; without
-// one the usual sources apply (both may be omitted only when a checkpoint
-// exists). Returns the sequence to replay the WAL from (0 = from the
-// beginning).
-func loadBase(dataPath, snapPath, walDir string) ([]ranking.Ranking, uint64, error) {
-	if walDir != "" {
-		seq, cpPath, err := wal.LatestCheckpoint(walDir)
-		if err != nil {
-			return nil, 0, err
-		}
-		if cpPath != "" {
-			f, err := os.Open(cpPath)
-			if err != nil {
-				return nil, 0, err
-			}
-			defer f.Close()
-			rankings, err := persist.ReadCollection(f)
-			if err != nil {
-				return nil, 0, fmt.Errorf("wal checkpoint %s: %w", cpPath, err)
-			}
-			if dataPath != "" || snapPath != "" {
-				fmt.Fprintf(os.Stderr, "wal checkpoint %s supersedes -data/-load-snapshot\n", cpPath)
-			}
-			return rankings, seq, nil
-		}
-	}
-	rankings, err := loadCollection(dataPath, snapPath)
-	return rankings, 0, err
-}
-
-// recoverWAL replays the logged mutation suffix through the shard router so
-// every record lands in (and re-extends) the shard that owned it when it
-// was acked.
-func recoverWAL(walDir string, fromSeq uint64, sh *shard.Sharded) (int, error) {
-	st, err := wal.Replay(walDir, fromSeq, sh.Apply)
-	if err != nil {
-		return st.Records, fmt.Errorf("wal recovery: %w", err)
-	}
-	if st.TornSegments > 0 {
-		fmt.Fprintf(os.Stderr, "wal %s: discarded the torn tail of %d segment(s)\n", walDir, st.TornSegments)
-	}
-	return st.Records, nil
-}
-
-// loadCollection reads the collection either from a text file of rankings or
-// from a persist snapshot; exactly one source must be given.
-func loadCollection(dataPath, snapPath string) ([]ranking.Ranking, error) {
-	switch {
-	case dataPath != "" && snapPath != "":
-		return nil, fmt.Errorf("pass either -data or -load-snapshot, not both")
-	case snapPath != "":
-		f, err := os.Open(snapPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		// Version-aware: v1 snapshots load as all-live collections, v2
-		// snapshots restore tombstoned slots as nil entries.
-		return persist.ReadCollection(f)
-	case dataPath != "":
-		var r io.Reader
-		if dataPath == "-" {
-			r = os.Stdin
-		} else {
-			f, err := os.Open(dataPath)
-			if err != nil {
-				return nil, err
-			}
-			defer f.Close()
-			r = f
-		}
-		var out []ranking.Ranking
-		sc := bufio.NewScanner(r)
-		sc.Buffer(make([]byte, 1<<20), 1<<20)
-		for sc.Scan() {
-			line := strings.TrimSpace(sc.Text())
-			if line == "" || strings.HasPrefix(line, "#") {
-				continue
-			}
-			rk, err := topk.ParseRanking(line)
-			if err != nil {
-				return nil, fmt.Errorf("line %d: %w", len(out)+1, err)
-			}
-			out = append(out, rk)
-		}
-		if err := sc.Err(); err != nil {
-			return nil, err
-		}
-		return out, nil
-	default:
-		return nil, fmt.Errorf("missing -data or -load-snapshot")
-	}
-}
-
-// validateKindFlags fails fast on flag combinations that would otherwise
-// be silently ignored: the hybrid-planner knobs act only on -kind hybrid.
-// set holds the flag names explicitly passed on the command line.
-func validateKindFlags(kind string, set map[string]bool) error {
-	if kind == "hybrid" {
-		return nil
-	}
-	for _, name := range []string{"force-backend", "calibrate", "delta-ratio"} {
-		if set[name] {
-			return fmt.Errorf("-%s applies only to -kind hybrid (have %q)", name, kind)
-		}
-	}
-	return nil
-}
-
-// mutableKind reports whether an index kind supports Insert/Delete/Update.
-// Exactly these kinds can also represent retired (tombstoned) snapshot
-// slots: their constructors all rebuild from one external-id slot array.
-func mutableKind(kind string) bool {
-	switch kind {
-	case "hybrid", "coarse", "coarse-drop", "inverted", "inverted-drop", "merge":
-		return true
-	}
-	return false
-}
-
-// dropTombstones removes nil (tombstoned) slots, renumbering densely.
-func dropTombstones(slots []ranking.Ranking) ([]ranking.Ranking, int) {
-	out := make([]ranking.Ranking, 0, len(slots))
-	for _, r := range slots {
-		if r != nil {
-			out = append(out, r)
-		}
-	}
-	return out, len(slots) - len(out)
-}
-
-// builderFor returns the shard builder for an index kind name. Slot-capable
-// kinds build from slots so that tombstoned snapshot entries keep their ids
-// retired; the other kinds require a dense collection (see dropTombstones).
-func builderFor(kind string, maxTheta float64, force string, calibrate int, deltaRatio float64) shard.Builder {
-	return func(rs []ranking.Ranking) (shard.Index, error) {
-		switch kind {
-		case "hybrid":
-			opts := []topk.HybridOption{
-				topk.WithHybridMaxTheta(maxTheta),
-				topk.WithHybridDeltaRatio(deltaRatio),
-			}
-			if force != "" {
-				opts = append(opts, topk.WithForcedBackend(force))
-			}
-			if calibrate > 0 {
-				opts = append(opts, topk.WithHybridCalibration(calibrate))
-			}
-			return topk.NewHybridIndexFromSlots(rs, opts...)
-		case "coarse":
-			return topk.NewCoarseIndexFromSlots(rs, topk.WithAutoTune(maxTheta))
-		case "coarse-drop":
-			return topk.NewCoarseIndexFromSlots(rs, topk.WithThetaC(0.06), topk.WithListDropping())
-		case "inverted":
-			return topk.NewInvertedIndexFromSlots(rs, topk.WithAlgorithm(topk.FilterValidate))
-		case "inverted-drop":
-			return topk.NewInvertedIndexFromSlots(rs)
-		case "merge":
-			return topk.NewInvertedIndexFromSlots(rs, topk.WithAlgorithm(topk.ListMerge))
-		case "blocked":
-			return topk.NewBlockedIndex(rs)
-		case "blocked-drop":
-			return topk.NewBlockedIndex(rs, topk.WithBlockedDrop())
-		case "bktree":
-			return topk.NewMetricTree(rs, topk.BKTree)
-		case "mtree":
-			return topk.NewMetricTree(rs, topk.MTree)
-		case "vptree":
-			return topk.NewMetricTree(rs, topk.VPTree)
-		default:
-			return nil, fmt.Errorf("unknown index kind %q", kind)
-		}
-	}
-}
-
-// defaultMaxBody bounds request bodies when -max-body is not given.
-const defaultMaxBody = 16 << 20
-
-// server holds the shared sharded index and request counters.
-type server struct {
-	sh      *shard.Sharded
-	kind    string
-	maxBody int64
-	started time.Time
-	// ready gates the index-backed routes: false until the initial build
-	// and WAL replay finish. install publishes sh/wal before flipping it,
-	// so a true load is also the acquire barrier for reading s.sh.
-	ready   atomic.Bool
-	metrics *serverMetrics
-	tracer  *tracer
-	queries atomic.Uint64
-	knn     atomic.Uint64
-	// batchShared counts batches answered by the shared-candidate processor,
-	// batchSplit those that fell back to independent per-query searches.
-	batchShared atomic.Uint64
-	batchSplit  atomic.Uint64
-	mutations   atomic.Uint64
-
-	// defaultTimeout bounds every /search and /knn request; admission bounds
-	// their concurrency (nil = unbounded); cache serves repeated single
-	// queries without touching the shards (nil = disabled). The cache is
-	// generation-validated: see (*server).generation.
-	defaultTimeout time.Duration
-	admission      *admit.Controller
-	cache          *qcache.Cache
-
-	// wal, when non-nil, makes mutations durable: each handler applies the
-	// mutation and appends its record under walMu — one lock for both steps,
-	// so the log order always equals the apply order (two concurrent inserts
-	// must not ack in one order and replay in the other). Checkpoints take
-	// the same lock for their rotation+capture instant.
-	wal         *wal.Log
-	walMu       sync.Mutex
-	walReplayed int
-	// checkpointMu serializes whole POST /checkpoint requests (the snapshot
-	// streaming runs outside walMu so mutations continue meanwhile).
-	checkpointMu sync.Mutex
-	// walFatal is called when a WAL append fails after the mutation was
-	// already applied in memory; continuing would ack mutations the log
-	// cannot replay. Overridable in tests.
-	walFatal func(err error)
-}
-
-// newServer constructs the server. With a non-nil index it is ready to
-// serve immediately (the test path); main passes nil so the listener can
-// come up first and calls install once the build and WAL replay finish.
-func newServer(sh *shard.Sharded, kind string) *server {
-	s := &server{
-		sh: sh, kind: kind, maxBody: defaultMaxBody, started: time.Now(),
-		metrics: newServerMetrics(),
-		tracer:  newTracer(0, os.Stderr),
-		walFatal: func(err error) {
-			fmt.Fprintf(os.Stderr, "fatal: wal append failed after the mutation was applied: %v\n", err)
-			os.Exit(1)
-		},
-	}
-	s.registerCollectors()
-	if sh != nil {
-		s.ready.Store(true)
-	}
-	return s
-}
-
-// install publishes the built index (and recovered WAL) and flips the
-// server ready: the field writes happen before the atomic store, the gated
-// handlers' load happens before their reads, so no handler ever sees a
-// half-installed server.
-func (s *server) install(sh *shard.Sharded, wlog *wal.Log, replayed int) {
-	s.walMu.Lock()
-	s.sh = sh
-	s.wal = wlog
-	s.walReplayed = replayed
-	s.walMu.Unlock()
-	s.ready.Store(true)
-}
-
-// applyInsert applies an insert and, with durability on, logs it before the
-// caller acks. walMu spans apply+append so replay order matches ack order.
-func (s *server) applyInsert(r ranking.Ranking) (ranking.ID, error) {
-	if s.wal == nil {
-		return s.sh.Insert(r)
-	}
-	s.walMu.Lock()
-	defer s.walMu.Unlock()
-	id, err := s.sh.Insert(r)
-	if err != nil {
-		return 0, err
-	}
-	if err := s.wal.Append(wal.Record{Op: wal.OpInsert, ID: id, Ranking: r}); err != nil {
-		s.walFatal(err)
-		return 0, err
-	}
-	return id, nil
-}
-
-// applyDelete is the durable delete path; see applyInsert.
-func (s *server) applyDelete(id ranking.ID) error {
-	if s.wal == nil {
-		return s.sh.Delete(id)
-	}
-	s.walMu.Lock()
-	defer s.walMu.Unlock()
-	if err := s.sh.Delete(id); err != nil {
-		return err
-	}
-	if err := s.wal.Append(wal.Record{Op: wal.OpDelete, ID: id}); err != nil {
-		s.walFatal(err)
-		return err
-	}
-	return nil
-}
-
-// applyUpdate is the durable update path; see applyInsert.
-func (s *server) applyUpdate(id ranking.ID, r ranking.Ranking) error {
-	if s.wal == nil {
-		return s.sh.Update(id, r)
-	}
-	s.walMu.Lock()
-	defer s.walMu.Unlock()
-	if err := s.sh.Update(id, r); err != nil {
-		return err
-	}
-	if err := s.wal.Append(wal.Record{Op: wal.OpUpdate, ID: id, Ranking: r}); err != nil {
-		s.walFatal(err)
-		return err
-	}
-	return nil
-}
-
-// decodeJSON parses a request body bounded by the -max-body limit; a false
-// return means the error response was already written — 413 when the body
-// exceeded the limit, 400 for anything else. Exactly one JSON value is
-// accepted: trailing garbage after it (which encoding/json's streaming
-// Decode would silently leave unread) is a 400, trailing whitespace is fine.
-func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
-	dec.DisallowUnknownFields()
-	err := dec.Decode(v)
-	if err == nil {
-		var trailing json.RawMessage
-		if terr := dec.Decode(&trailing); terr != io.EOF {
-			httpError(w, http.StatusBadRequest, "trailing data after JSON body")
-			return false
-		}
-		return true
-	}
-	var mbe *http.MaxBytesError
-	if errors.As(err, &mbe) {
-		httpError(w, http.StatusRequestEntityTooLarge,
-			"request body exceeds %d bytes (raise -max-body)", mbe.Limit)
-		return false
-	}
-	httpError(w, http.StatusBadRequest, "bad request body: %v", err)
-	return false
-}
-
-// generation is the query-cache validity stamp: acked mutations plus
-// installed epoch rebuilds, summed. Both components only grow, so any
-// mutation or rebuild moves the generation and every cached entry stamped
-// earlier stops matching — O(1) whole-cache invalidation. Mutation handlers
-// bump s.mutations after the index apply and before the ack, so a read
-// issued after an acked mutation always sees a newer generation than any
-// entry the mutation could have affected.
-func (s *server) generation() uint64 {
-	return s.mutations.Load() + s.sh.Rebuilds()
-}
-
-// withDeadline applies the -default-timeout budget to a request context.
-func (s *server) withDeadline(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.defaultTimeout <= 0 {
-		return r.Context(), func() {}
-	}
-	return context.WithTimeout(r.Context(), s.defaultTimeout)
-}
-
-// statusClientClosedRequest is nginx's 499: the client went away before the
-// response. No standard code covers it, and logging these separately from
-// real 5xx failures is exactly why nginx invented it.
-const statusClientClosedRequest = 499
-
-// writeSearchError maps a query-path failure onto the HTTP contract:
-// client cancellation is 499, a blown deadline is 504 Gateway Timeout, and
-// only genuine internal failures surface as 500.
-func writeSearchError(w http.ResponseWriter, what string, err error) {
-	switch {
-	case errors.Is(err, context.Canceled):
-		httpError(w, statusClientClosedRequest, "%s canceled by client", what)
-	case errors.Is(err, context.DeadlineExceeded):
-		httpError(w, http.StatusGatewayTimeout, "%s deadline exceeded", what)
-	default:
-		httpError(w, http.StatusInternalServerError, "%s: %v", what, err)
-	}
-}
-
-// writeShedError maps an admission failure: overload sheds are 429 Too Many
-// Requests with Retry-After so well-behaved clients back off; a request
-// whose own context died while queued reports like any other cancellation.
-func writeShedError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, admit.ErrQueueFull), errors.Is(err, admit.ErrWaitTimeout):
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "server overloaded: %v", err)
-	default:
-		writeSearchError(w, "admission", err)
-	}
-}
-
-func (s *server) routes() http.Handler {
-	mux := http.NewServeMux()
-	gated := func(route string, h http.HandlerFunc) http.HandlerFunc {
-		return s.instrument(route, s.gate(h))
-	}
-	mux.HandleFunc("POST /search", gated("/search", s.handleSearch))
-	mux.HandleFunc("POST /knn", gated("/knn", s.handleKNN))
-	mux.HandleFunc("POST /insert", gated("/insert", s.handleInsert))
-	mux.HandleFunc("POST /delete", gated("/delete", s.handleDelete))
-	mux.HandleFunc("POST /update", gated("/update", s.handleUpdate))
-	mux.HandleFunc("GET /snapshot", gated("/snapshot", s.handleSnapshot))
-	mux.HandleFunc("POST /checkpoint", gated("/checkpoint", s.handleCheckpoint))
-	mux.HandleFunc("GET /stats", gated("/stats", s.handleStats))
-	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
-	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
-	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
-	mux.HandleFunc("GET /debug/trace", s.instrument("/debug/trace", s.handleDebugTrace))
-	return mux
-}
-
-// gate rejects index-backed requests until install has published the index:
-// 503 with Retry-After, the standard not-ready contract, instead of a nil
-// dereference mid-build.
-func (s *server) gate(next http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if !s.ready.Load() {
-			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusServiceUnavailable, "index not ready: initial build or WAL replay in progress")
-			return
-		}
-		next(w, r)
-	}
-}
-
-// instrument wraps a route with the HTTP metrics (request/error counters by
-// status, in-flight gauge, latency histogram) and the per-request trace
-// (X-Request-ID propagation, span recording, /debug/trace ring, slow-query
-// log). The accounting runs in a deferred block so a panicking handler
-// cannot leak the in-flight gauge or drop its trace: the panic is recovered
-// into a 500 (when the handler had not started the response yet) and the
-// request is counted and traced like any other failure.
-func (s *server) instrument(route string, next http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		tr := s.tracer.begin(route, w, r)
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		s.metrics.inflight.Inc()
-		start := time.Now()
-		defer func() {
-			if p := recover(); p != nil {
-				fmt.Fprintf(os.Stderr, "panic serving %s: %v\n%s", route, p, debug.Stack())
-				if !sw.wroteHeader {
-					httpError(sw, http.StatusInternalServerError, "internal error")
-				} else {
-					sw.status = http.StatusInternalServerError
-				}
-			}
-			dur := time.Since(start)
-			s.metrics.inflight.Dec()
-			code := strconv.Itoa(sw.status)
-			s.metrics.requests.With(route, code).Inc()
-			if sw.status >= 400 {
-				s.metrics.errors.With(route, code).Inc()
-			}
-			s.metrics.latency.With(route).Observe(dur.Seconds())
-			s.tracer.finish(tr, sw.status, dur)
-		}()
-		next(sw, r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, tr)))
-	}
-}
-
-// handleSnapshot streams the current collection as a persist v2 snapshot:
-// the external-id slot array with tombstones marked, so restarting with
-// -load-snapshot preserves every id. `curl -s :8080/snapshot > snap.bin`.
-func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	slots, ok := s.sh.Slots()
-	if !ok {
-		httpError(w, http.StatusBadRequest, "index kind %q exposes no snapshot view", s.kind)
-		return
-	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Disposition", "attachment; filename=\"rankings-v2.bin\"")
-	if _, err := persist.WriteCollection(w, slots); err != nil {
-		// Headers are gone; all we can do is log.
-		fmt.Fprintf(os.Stderr, "snapshot write: %v\n", err)
-	}
-}
-
-// checkpointResponse reports what POST /checkpoint wrote and reclaimed.
-type checkpointResponse struct {
-	// Seq is the log sequence the checkpoint is consistent at: it reflects
-	// every mutation acked before it and none after.
-	Seq uint64 `json:"seq"`
-	// Bytes is the size of the streamed snapshot.
-	Bytes int64 `json:"bytes"`
-	// Slots and Live describe the captured collection (id-space size and
-	// non-tombstoned count).
-	Slots int `json:"slots"`
-	Live  int `json:"live"`
-}
-
-// handleCheckpoint makes the current collection state durable and truncates
-// the WAL: under the mutation lock it rotates the log and captures the
-// consistent slot view (an exact cut — see Sharded.Slots), then streams the
-// v2 snapshot to the WAL directory off-lock, atomically installs it as
-// checkpoint-<seq>.bin and deletes the segments it supersedes. Mutations
-// arriving during the streaming land in the post-rotation segment, which
-// recovery replays on top of the checkpoint.
-func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if s.wal == nil {
-		httpError(w, http.StatusBadRequest, "server started without -wal: nothing to checkpoint")
-		return
-	}
-	s.checkpointMu.Lock()
-	defer s.checkpointMu.Unlock()
-	s.walMu.Lock()
-	seq, err := s.wal.Rotate()
-	if err != nil {
-		s.walMu.Unlock()
-		httpError(w, http.StatusInternalServerError, "wal rotate: %v", err)
-		return
-	}
-	slots, ok := s.sh.Slots()
-	s.walMu.Unlock()
-	if !ok {
-		httpError(w, http.StatusBadRequest, "index kind %q exposes no snapshot view", s.kind)
-		return
-	}
-	var bytes int64
-	if err := s.wal.Checkpoint(seq, func(f *os.File) error {
-		n, werr := persist.WriteCollection(f, slots)
-		bytes = n
-		return werr
-	}); err != nil {
-		httpError(w, http.StatusInternalServerError, "checkpoint: %v", err)
-		return
-	}
-	live := 0
-	for _, r := range slots {
-		if r != nil {
-			live++
-		}
-	}
-	writeJSON(w, http.StatusOK, checkpointResponse{Seq: seq, Bytes: bytes, Slots: len(slots), Live: live})
-}
-
-// searchRequest is the /search payload: exactly one of Query or Queries,
-// with either one shared Theta or (batch only) one theta per query.
-type searchRequest struct {
-	Query   ranking.Ranking   `json:"query,omitempty"`
-	Queries []ranking.Ranking `json:"queries,omitempty"`
-	Theta   float64           `json:"theta"`
-	Thetas  []float64         `json:"thetas,omitempty"`
-}
-
-// resultJSON augments a raw result with its normalized distance.
-type resultJSON struct {
-	ID       ranking.ID `json:"id"`
-	Dist     int        `json:"dist"`
-	NormDist float64    `json:"normDist"`
-}
-
-type answerJSON struct {
-	Count   int          `json:"count"`
-	Results []resultJSON `json:"results"`
-}
-
-type searchResponse struct {
-	TookMicros int64        `json:"tookMicros"`
-	Count      int          `json:"count,omitempty"`
-	Results    []resultJSON `json:"results,omitempty"`
-	Answers    []answerJSON `json:"answers,omitempty"`
-	// BatchMode reports how a batch was processed: "shared" when the
-	// shared-candidate batch processor answered it, "per-query" otherwise.
-	BatchMode string `json:"batchMode,omitempty"`
-}
-
-func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	tr := traceFrom(r)
-	parseStart := time.Now()
-	var req searchRequest
-	if !s.decodeJSON(w, r, &req) {
-		return
-	}
-	if (req.Query == nil) == (req.Queries == nil) {
-		httpError(w, http.StatusBadRequest, "pass exactly one of \"query\" or \"queries\"")
-		return
-	}
-	if req.Queries != nil && len(req.Queries) == 0 {
-		httpError(w, http.StatusBadRequest, "\"queries\" must not be empty")
-		return
-	}
-	if req.Thetas != nil {
-		if req.Queries == nil {
-			httpError(w, http.StatusBadRequest, "\"thetas\" requires \"queries\"")
-			return
-		}
-		if len(req.Thetas) != len(req.Queries) {
-			httpError(w, http.StatusBadRequest, "%d thetas for %d queries", len(req.Thetas), len(req.Queries))
-			return
-		}
-		for i, t := range req.Thetas {
-			if t < 0 || t > 1 {
-				httpError(w, http.StatusBadRequest, "thetas[%d] = %v outside [0,1]", i, t)
-				return
-			}
-		}
-	}
-	if req.Theta < 0 || req.Theta > 1 {
-		httpError(w, http.StatusBadRequest, "theta %v outside [0,1]", req.Theta)
-		return
-	}
-	queries := req.Queries
-	if req.Query != nil {
-		queries = []ranking.Ranking{req.Query}
-	}
-	for i, q := range queries {
-		if q.K() != s.sh.K() {
-			httpError(w, http.StatusBadRequest, "query %d has size %d, index has k=%d", i, q.K(), s.sh.K())
-			return
-		}
-		if err := q.Validate(); err != nil {
-			httpError(w, http.StatusBadRequest, "query %d: %v", i, err)
-			return
-		}
-	}
-
-	tr.addStage("parse", time.Since(parseStart))
-	traceTheta := req.Theta
-	if req.Thetas != nil {
-		traceTheta = req.Thetas[0]
-	}
-	tr.setQueryShape(traceTheta, len(queries), s.sh.K())
-
-	ctx, cancelReq := s.withDeadline(r)
-	defer cancelReq()
-	admitStart := time.Now()
-	release, err := s.admission.Acquire(ctx, int64(len(queries)))
-	if err != nil {
-		writeShedError(w, err)
-		return
-	}
-	defer release()
-	tr.addStage("admit", time.Since(admitStart))
-
-	start := time.Now()
-	answers, mode, err := s.runSearch(ctx, req, queries, tr)
-	if err != nil {
-		writeSearchError(w, "search", err)
-		return
-	}
-	s.queries.Add(uint64(len(queries)))
-	respondStart := time.Now()
-	defer func() { tr.addStage("respond", time.Since(respondStart)) }()
-	resp := searchResponse{TookMicros: time.Since(start).Microseconds()}
-	if req.Query != nil {
-		resp.Count = len(answers[0])
-		resp.Results = s.toJSON(answers[0])
-	} else {
-		resp.BatchMode = mode
-		resp.Answers = make([]answerJSON, len(answers))
-		for i, a := range answers {
-			resp.Answers[i] = answerJSON{Count: len(a), Results: s.toJSON(a)}
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// runSearch dispatches a validated /search request: uniform-threshold
-// batches go through the shared-candidate batch processor when the index
-// kind supports it, mixed-radius batches (and kinds without batch support)
-// fall back to independent per-query searches. Single queries probe the
-// result cache first, then run through the traced scatter-gather so the
-// request trace records fan-out and merge timings plus backend attribution;
-// batch stages are recorded whole. ctx cancellation propagates into the
-// shard fan-out on every path.
-func (s *server) runSearch(ctx context.Context, req searchRequest, queries []ranking.Ranking, tr *requestTrace) ([][]ranking.Result, string, error) {
-	planStart := time.Now()
-	theta, uniform := req.Theta, true
-	if req.Thetas != nil {
-		theta = req.Thetas[0]
-		for _, t := range req.Thetas[1:] {
-			if t != theta {
-				uniform = false
-				break
-			}
-		}
-	}
-	tr.addStage("plan", time.Since(planStart))
-	if req.Query != nil {
-		var (
-			key qcache.Key
-			gen uint64
-		)
-		if s.cache != nil {
-			// The generation is read BEFORE the search: a mutation landing
-			// mid-search makes the entry conservatively stale, never wrongly
-			// fresh (see qcache's package comment).
-			key = qcache.Key{Kind: "search", Query: queries[0].String(), Theta: theta}
-			gen = s.generation()
-			if res, ok := s.cache.Get(key, gen); ok {
-				tr.addStage("cache", time.Since(planStart))
-				return [][]ranking.Result{res}, "cached", nil
-			}
-		}
-		res, qt, err := s.sh.SearchTracedContext(ctx, queries[0], theta)
-		tr.addStageMicros("fanout", qt.FanoutMicros)
-		tr.addStageMicros("merge", qt.MergeMicros)
-		tr.setAttribution(qt.Backends, qt.DistanceCalls)
-		if err != nil {
-			return nil, "", err
-		}
-		s.cache.Put(key, gen, res)
-		return [][]ranking.Result{res}, "per-query", nil
-	}
-	searchStart := time.Now()
-	defer func() { tr.addStage("search", time.Since(searchStart)) }()
-	if !uniform {
-		s.batchSplit.Add(1)
-		res, err := s.sh.SearchBatchThetasContext(ctx, queries, req.Thetas)
-		return res, "per-query", err
-	}
-	if len(queries) > 1 {
-		if res, ok, err := s.sh.SearchBatchSharedContext(ctx, queries, theta); ok {
-			s.batchShared.Add(1)
-			return res, "shared", err
-		}
-	}
-	s.batchSplit.Add(1)
-	res, err := s.sh.SearchBatchContext(ctx, queries, theta)
-	return res, "per-query", err
-}
-
-// knnRequest is the /knn payload.
-type knnRequest struct {
-	Query ranking.Ranking `json:"query"`
-	N     int             `json:"n"`
-}
-
-type knnResponse struct {
-	TookMicros int64        `json:"tookMicros"`
-	Count      int          `json:"count"`
-	Results    []resultJSON `json:"results"`
-}
-
-// handleKNN answers an exact k-nearest-neighbor query with the sharded
-// per-shard fan-out and (distance, id) heap merge.
-func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
-	tr := traceFrom(r)
-	parseStart := time.Now()
-	var req knnRequest
-	if !s.decodeJSON(w, r, &req) {
-		return
-	}
-	if req.Query == nil {
-		httpError(w, http.StatusBadRequest, "missing \"query\"")
-		return
-	}
-	if req.N <= 0 {
-		httpError(w, http.StatusBadRequest, "\"n\" must be positive, have %d", req.N)
-		return
-	}
-	if req.Query.K() != s.sh.K() {
-		httpError(w, http.StatusBadRequest, "query has size %d, index has k=%d", req.Query.K(), s.sh.K())
-		return
-	}
-	if err := req.Query.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	tr.addStage("parse", time.Since(parseStart))
-	tr.setQueryShape(0, 1, s.sh.K())
-	ctx, cancelReq := s.withDeadline(r)
-	defer cancelReq()
-	admitStart := time.Now()
-	release, err := s.admission.Acquire(ctx, 1)
-	if err != nil {
-		writeShedError(w, err)
-		return
-	}
-	defer release()
-	tr.addStage("admit", time.Since(admitStart))
-	start := time.Now()
-	var (
-		key qcache.Key
-		gen uint64
-	)
-	res, cached := []ranking.Result(nil), false
-	if s.cache != nil {
-		key = qcache.Key{Kind: "knn", Query: req.Query.String(), N: req.N}
-		gen = s.generation()
-		res, cached = s.cache.Get(key, gen)
-	}
-	if !cached {
-		res, err = s.sh.NearestNeighborsContext(ctx, req.Query, req.N)
-		if err != nil {
-			writeSearchError(w, "knn", err)
-			return
-		}
-		s.cache.Put(key, gen, res)
-	}
-	tr.addStage("search", time.Since(start))
-	s.knn.Add(1)
-	writeJSON(w, http.StatusOK, knnResponse{
-		TookMicros: time.Since(start).Microseconds(),
-		Count:      len(res),
-		Results:    s.toJSON(res),
-	})
-}
-
-func (s *server) toJSON(rs []ranking.Result) []resultJSON {
-	dmax := float64(topk.MaxDistance(s.sh.K()))
-	out := make([]resultJSON, len(rs))
-	for i, r := range rs {
-		out[i] = resultJSON{ID: r.ID, Dist: r.Dist, NormDist: float64(r.Dist) / dmax}
-	}
-	return out
-}
-
-// mutateRequest is the payload of /insert, /delete and /update. ID is a
-// pointer so a missing field is distinguishable from id 0.
-type mutateRequest struct {
-	ID      *ranking.ID     `json:"id,omitempty"`
-	Ranking ranking.Ranking `json:"ranking,omitempty"`
-}
-
-type mutateResponse struct {
-	ID ranking.ID `json:"id"`
-	N  int        `json:"n"`
-}
-
-// decodeMutation parses and bounds a mutation body; a false return means an
-// error response was already written. Mutations against a read-only index
-// kind are 405 Method Not Allowed, never 500.
-func (s *server) decodeMutation(w http.ResponseWriter, r *http.Request) (mutateRequest, bool) {
-	var req mutateRequest
-	if !s.decodeJSON(w, r, &req) {
-		return req, false
-	}
-	if !s.sh.Mutable() {
-		httpError(w, http.StatusMethodNotAllowed, "index kind %q is read-only: mutations are not supported", s.kind)
-		return req, false
-	}
-	return req, true
-}
-
-// writeMutationError maps a mutation failure onto the endpoint contract:
-// unknown or retired ids are 404, mutations a sub-index rejects as
-// read-only are 405, and only genuine internal failures surface as 500.
-func (s *server) writeMutationError(w http.ResponseWriter, verb string, err error) {
-	switch {
-	case errors.Is(err, topk.ErrUnknownID):
-		httpError(w, http.StatusNotFound, "%v", err)
-	case errors.Is(err, shard.ErrImmutable):
-		httpError(w, http.StatusMethodNotAllowed, "index kind %q is read-only: %s not supported", s.kind, verb)
-	default:
-		httpError(w, http.StatusInternalServerError, "%s: %v", verb, err)
-	}
-}
-
-// checkRanking validates a mutation payload ranking against the index.
-func (s *server) checkRanking(w http.ResponseWriter, rk ranking.Ranking) bool {
-	if rk == nil {
-		httpError(w, http.StatusBadRequest, "missing \"ranking\"")
-		return false
-	}
-	if rk.K() != s.sh.K() {
-		httpError(w, http.StatusBadRequest, "ranking has size %d, index has k=%d", rk.K(), s.sh.K())
-		return false
-	}
-	if err := rk.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return false
-	}
-	return true
-}
-
-func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decodeMutation(w, r)
-	if !ok {
-		return
-	}
-	if req.ID != nil {
-		httpError(w, http.StatusBadRequest, "\"id\" is not an insert field (use /update to replace)")
-		return
-	}
-	if !s.checkRanking(w, req.Ranking) {
-		return
-	}
-	id, err := s.applyInsert(req.Ranking)
-	if err != nil {
-		s.writeMutationError(w, "insert", err)
-		return
-	}
-	s.mutations.Add(1)
-	writeJSON(w, http.StatusOK, mutateResponse{ID: id, N: s.sh.Len()})
-}
-
-func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decodeMutation(w, r)
-	if !ok {
-		return
-	}
-	if req.ID == nil {
-		httpError(w, http.StatusBadRequest, "missing \"id\"")
-		return
-	}
-	if req.Ranking != nil {
-		httpError(w, http.StatusBadRequest, "\"ranking\" is not a delete field")
-		return
-	}
-	if err := s.applyDelete(*req.ID); err != nil {
-		s.writeMutationError(w, "delete", err)
-		return
-	}
-	s.mutations.Add(1)
-	writeJSON(w, http.StatusOK, mutateResponse{ID: *req.ID, N: s.sh.Len()})
-}
-
-func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decodeMutation(w, r)
-	if !ok {
-		return
-	}
-	if req.ID == nil {
-		httpError(w, http.StatusBadRequest, "missing \"id\"")
-		return
-	}
-	if !s.checkRanking(w, req.Ranking) {
-		return
-	}
-	if err := s.applyUpdate(*req.ID, req.Ranking); err != nil {
-		s.writeMutationError(w, "update", err)
-		return
-	}
-	s.mutations.Add(1)
-	writeJSON(w, http.StatusOK, mutateResponse{ID: *req.ID, N: s.sh.Len()})
-}
-
-type statsResponse struct {
-	Index         string `json:"index"`
-	N             int    `json:"n"`
-	K             int    `json:"k"`
-	NumShards     int    `json:"numShards"`
-	Mutable       bool   `json:"mutable"`
-	Queries       uint64 `json:"queries"`
-	KNNQueries    uint64 `json:"knnQueries"`
-	BatchShared   uint64 `json:"batchShared"`
-	BatchPerQuery uint64 `json:"batchPerQuery"`
-	Mutations     uint64 `json:"mutations"`
-	// Delta and Rebuilds sum the hybrid engine's mutation-overlay state
-	// across shards: rankings awaiting the next epoch rebuild, and epoch
-	// rebuilds installed so far. Both stay 0 for the other kinds.
-	Delta         int     `json:"delta"`
-	Rebuilds      uint64  `json:"rebuilds"`
-	DistanceCalls uint64  `json:"distanceCalls"`
-	UptimeSeconds float64 `json:"uptimeSeconds"`
-	// Fanout and Merge are the cross-shard phase histograms of every
-	// fanned-out search: scatter (dispatch until the slowest shard answers)
-	// and gather (concatenating per-shard answers).
-	Fanout shard.HistogramSnapshot `json:"fanout"`
-	Merge  shard.HistogramSnapshot `json:"merge"`
-	// Planner is the per-backend plan scoreboard of the hybrid engine,
-	// aggregated across shards; absent for single-backend kinds.
-	Planner []topk.PlanStats   `json:"planner,omitempty"`
-	Shards  []shard.ShardStats `json:"shards"`
-	// WAL reports the durability counters when the server runs with -wal.
-	WAL *walStatsJSON `json:"wal,omitempty"`
-	// Admission reports the load-shedding semaphore (absent when admission
-	// control is disabled with -max-concurrency < 0); Cache the query-result
-	// cache (absent without -cache-entries).
-	Admission *admit.Stats  `json:"admission,omitempty"`
-	Cache     *qcache.Stats `json:"cache,omitempty"`
-}
-
-// walStatsJSON is the /stats durability section: the log's own counters
-// plus what startup recovery replayed.
-type walStatsJSON struct {
-	Dir      string `json:"dir"`
-	Replayed int    `json:"replayed"`
-	wal.Stats
-}
-
-// planStats is implemented by hybrid sub-indices.
-type planStats interface{ PlanStats() []topk.PlanStats }
-
-// aggregatePlanStats merges the per-shard plan scoreboards by backend name:
-// plan and observation counters add up, the EWMAs combine as
-// observation-weighted means.
-func aggregatePlanStats(sh *shard.Sharded) []topk.PlanStats {
-	var order []string
-	acc := make(map[string]*topk.PlanStats)
-	weightLat := make(map[string]float64)
-	weightDFC := make(map[string]float64)
-	for i := 0; i < sh.NumShards(); i++ {
-		sub, _ := sh.Shard(i)
-		ps, ok := sub.(planStats)
-		if !ok {
-			return nil
-		}
-		for _, st := range ps.PlanStats() {
-			a := acc[st.Backend]
-			if a == nil {
-				a = &topk.PlanStats{Backend: st.Backend}
-				acc[st.Backend] = a
-				order = append(order, st.Backend)
-			}
-			a.Plans += st.Plans
-			a.Observations += st.Observations
-			a.Mispredicts += st.Mispredicts
-			weightLat[st.Backend] += float64(st.Observations) * st.EWMALatencyNanos
-			weightDFC[st.Backend] += float64(st.Observations) * st.EWMADistanceCalls
-		}
-	}
-	out := make([]topk.PlanStats, 0, len(order))
-	for _, name := range order {
-		a := acc[name]
-		if a.Observations > 0 {
-			a.EWMALatencyNanos = weightLat[name] / float64(a.Observations)
-			a.EWMADistanceCalls = weightDFC[name] / float64(a.Observations)
-		}
-		out = append(out, *a)
-	}
-	return out
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	shards := s.sh.Stats()
-	delta, rebuilds := 0, uint64(0)
-	for _, st := range shards {
-		delta += st.Delta
-		rebuilds += st.Rebuilds
-	}
-	var ws *walStatsJSON
-	if s.wal != nil {
-		ws = &walStatsJSON{Dir: s.wal.Dir(), Replayed: s.walReplayed, Stats: s.wal.Stats()}
-	}
-	var adm *admit.Stats
-	if s.admission != nil {
-		a := s.admission.Stats()
-		adm = &a
-	}
-	var cst *qcache.Stats
-	if s.cache != nil {
-		c := s.cache.Stats()
-		cst = &c
-	}
-	fan, mrg := s.sh.Timings()
-	writeJSON(w, http.StatusOK, statsResponse{
-		Index:         s.kind,
-		N:             s.sh.Len(),
-		K:             s.sh.K(),
-		NumShards:     s.sh.NumShards(),
-		Mutable:       s.sh.Mutable(),
-		Queries:       s.queries.Load(),
-		KNNQueries:    s.knn.Load(),
-		BatchShared:   s.batchShared.Load(),
-		BatchPerQuery: s.batchSplit.Load(),
-		Mutations:     s.mutations.Load(),
-		Delta:         delta,
-		Rebuilds:      rebuilds,
-		DistanceCalls: s.sh.DistanceCalls(),
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Fanout:        fan,
-		Merge:         mrg,
-		Planner:       aggregatePlanStats(s.sh),
-		Shards:        shards,
-		WAL:           ws,
-		Admission:     adm,
-		Cache:         cst,
-	})
-}
-
-// handleHealthz is pure liveness: 200 as long as the process serves HTTP,
-// regardless of index state. Use /readyz to gate traffic.
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-}
-
-// handleReadyz is the readiness probe: 503 until the initial index build
-// and WAL replay have finished, 200 after. Because main starts the listener
-// before building, a load balancer polling /readyz sees the server come up
-// and hold traffic until it can actually answer.
-func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if !s.ready.Load() {
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

@@ -76,6 +76,29 @@ func New(capacity int64, maxQueue int, maxWait time.Duration) *Controller {
 	}
 }
 
+// NewWeighted carves a per-tenant controller out of a shared one: the new
+// controller's capacity is the given fraction of parent's capacity (minimum
+// 1 unit), its queue bound the usual four waiters per slot. A tenant that
+// acquires its own carve FIRST and the shared controller second can never
+// occupy more than its share of the shared capacity concurrently, so one
+// flooded tenant leaves the remaining fraction free for everyone else —
+// its excess queues and sheds at its own carve instead of filling the
+// shared queue. weight outside (0, 1] means an unthrottled tenant (full
+// parent capacity); a nil parent (admission disabled) yields a nil carve.
+func NewWeighted(parent *Controller, weight float64, maxWait time.Duration) *Controller {
+	if parent == nil {
+		return nil
+	}
+	if weight <= 0 || weight > 1 {
+		weight = 1
+	}
+	capacity := int64(weight * float64(parent.Capacity()))
+	if capacity < 1 {
+		capacity = 1
+	}
+	return New(capacity, 4*int(capacity), maxWait)
+}
+
 // Acquire admits weight units of work, blocking in FIFO order while the
 // controller is saturated. It returns a release function that must be called
 // exactly once when the work finishes (calling it again is a no-op). weight

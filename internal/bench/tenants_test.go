@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"topk/internal/dataset"
+)
+
+// TestTenantsCarveConfinesFlood runs the noisy-neighbor experiment at a tiny
+// capacity and checks its accounting plus the structural claim: with
+// per-tenant carves the flooded tenant sheds at its own carve while the
+// paced tenant keeps being served.
+func TestTenantsCarveConfinesFlood(t *testing.T) {
+	env, err := NewEnv("NYT-like", dataset.NYTLike(800, 10), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, tbl, err := Tenants(env, TenantsConfig{
+		Factor:        8,
+		FloodArrivals: 300,
+		Capacity:      4,
+		MaxQueue:      4,
+		MaxWait:       2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("want 4 records (2 modes x 2 tenants), got %d", len(recs))
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("table rows = %d, want 4", len(tbl.Rows))
+	}
+	byKey := map[string]TenantsRecord{}
+	for _, r := range recs {
+		byKey[r.Mode+"/"+r.Tenant] = r
+		if r.Accepted+r.Shed != r.Arrivals {
+			t.Fatalf("%s/%s: accepted %d + shed %d != arrivals %d",
+				r.Mode, r.Tenant, r.Accepted, r.Shed, r.Arrivals)
+		}
+		if r.Capacity != 4 {
+			t.Fatalf("%s/%s: capacity %d, want 4", r.Mode, r.Tenant, r.Capacity)
+		}
+		if r.OfferedPerSec <= 0 || r.SustainablePerSec <= 0 {
+			t.Fatalf("%s/%s: rates not recorded: %+v", r.Mode, r.Tenant, r)
+		}
+		if r.Accepted > 0 && r.AcceptedP99Micros <= 0 {
+			t.Fatalf("%s/%s: accepted requests but p99 = %v", r.Mode, r.Tenant, r.AcceptedP99Micros)
+		}
+	}
+	for _, key := range []string{"shared/flooded", "shared/paced", "per-tenant/flooded", "per-tenant/paced"} {
+		if _, ok := byKey[key]; !ok {
+			t.Fatalf("missing record %s", key)
+		}
+	}
+	if r := byKey["per-tenant/flooded"]; r.Shed == 0 {
+		t.Fatal("per-tenant mode: the flooded tenant shed nothing at 8x sustainable — its carve is not engaged")
+	}
+	if r := byKey["per-tenant/flooded"]; r.Weight != 0.5 {
+		t.Fatalf("per-tenant flooded weight = %v, want the 0.5 default", r.Weight)
+	}
+	if r := byKey["shared/flooded"]; r.Weight != 0 {
+		t.Fatalf("shared mode recorded a carve weight: %v", r.Weight)
+	}
+	for _, mode := range []string{"shared", "per-tenant"} {
+		if r := byKey[mode+"/paced"]; r.Accepted == 0 {
+			t.Fatalf("%s: the paced tenant was never served", mode)
+		}
+	}
+}

@@ -19,14 +19,21 @@ import (
 	"topk/internal/ranking"
 )
 
-// Key identifies one cacheable query. Kind separates endpoint semantics
-// ("search" vs "knn"); Query is the canonical ranking text; Theta is the
-// range threshold (0 for KNN); N is the neighbor count (0 for range search).
+// Key identifies one cacheable query. Collection scopes the entry to one
+// tenant in a multi-collection server — two collections may hold the same
+// query text at the same generation, so the collection identity must join
+// the generation stamp (callers should use an instance-unique value, not
+// just the collection name, so that dropping and recreating a collection
+// can never revive entries cached against its predecessor). Kind separates
+// endpoint semantics ("search" vs "knn"); Query is the canonical ranking
+// text; Theta is the range threshold (0 for KNN); N is the neighbor count
+// (0 for range search).
 type Key struct {
-	Kind  string
-	Query string
-	Theta float64
-	N     int
+	Collection string
+	Kind       string
+	Query      string
+	Theta      float64
+	N          int
 }
 
 type entry struct {

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"topk"
+	"topk/internal/admit"
+	"topk/internal/ranking"
+	"topk/internal/shard"
+	"topk/internal/wal"
+)
+
+// collectionNameRE bounds collection names to what is safe as a WAL
+// directory name AND as a Prometheus label value: no separators, no
+// escaping, at most 64 characters.
+var collectionNameRE = regexp.MustCompile(`^[a-zA-Z0-9_-]{1,64}$`)
+
+// validateCollectionName rejects names that would need escaping somewhere
+// down the stack (paths, label values, URLs).
+func validateCollectionName(name string) error {
+	if !collectionNameRE.MatchString(name) {
+		return fmt.Errorf("invalid collection name %q: want 1-64 characters of [a-zA-Z0-9_-]", name)
+	}
+	return nil
+}
+
+// CollectionOptions are the per-collection knobs of PUT /collections/{name}
+// and the manifest entry a durable collection is recovered from. The zero
+// value of every field means "server default".
+type CollectionOptions struct {
+	// Kind is the index kind; dynamically created collections must use a
+	// mutable kind (they start empty and grow through /insert).
+	Kind string `json:"kind,omitempty"`
+	// Shards is the sub-index count (0 = GOMAXPROCS).
+	Shards int `json:"shards,omitempty"`
+	// K declares the ranking size of a collection created empty: until the
+	// first insert defines the size structurally, queries and mutations are
+	// validated against it. 0 leaves the size to the first insert.
+	K int `json:"k,omitempty"`
+	// MaxTheta is the auto-tune target threshold (coarse index / hybrid
+	// planner); 0 uses the server's -maxtheta.
+	MaxTheta float64 `json:"maxTheta,omitempty"`
+	// ForceBackend and Calibrate are hybrid-only planner knobs.
+	ForceBackend string `json:"forceBackend,omitempty"`
+	Calibrate    int    `json:"calibrate,omitempty"`
+	// DeltaRatio is the hybrid epoch-rebuild trigger; 0 uses the server's
+	// -delta-ratio (itself defaulting to topk.DefaultCompactionRatio).
+	DeltaRatio float64 `json:"deltaRatio,omitempty"`
+	// Weight is this collection's share of the global admission capacity,
+	// in (0, 1): a flooded tenant with weight w can hold at most
+	// ceil(w × -max-concurrency) concurrent search units, leaving the rest
+	// for everyone else. 0 (or ≥ 1) means unthrottled — bounded only by the
+	// global controller, the single-tenant behavior.
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// withDefaults fills zero fields from the server flags and normalizes the
+// kind alias handling.
+func (o CollectionOptions) withDefaults(cfg Config) CollectionOptions {
+	if o.Kind == "" {
+		if mutableKind(cfg.Kind) {
+			o.Kind = cfg.Kind
+		} else {
+			o.Kind = "hybrid"
+		}
+	}
+	if o.MaxTheta == 0 {
+		o.MaxTheta = cfg.MaxTheta
+	}
+	if o.DeltaRatio == 0 && o.Kind == "hybrid" {
+		o.DeltaRatio = cfg.DeltaRatio
+	}
+	return o
+}
+
+// validate rejects option combinations create would otherwise silently
+// ignore or that would break invariants down the stack.
+func (o CollectionOptions) validate(walEnabled bool) error {
+	if !mutableKind(o.Kind) {
+		return fmt.Errorf("collection kind %q is not mutable: dynamically created collections start empty and grow through /insert (want one of hybrid|coarse|coarse-drop|inverted|inverted-drop|merge)", o.Kind)
+	}
+	if o.Kind != "hybrid" {
+		if o.ForceBackend != "" {
+			return fmt.Errorf("forceBackend applies only to kind hybrid (have %q)", o.Kind)
+		}
+		if o.Calibrate != 0 {
+			return fmt.Errorf("calibrate applies only to kind hybrid (have %q)", o.Kind)
+		}
+		if o.DeltaRatio != 0 {
+			return fmt.Errorf("deltaRatio applies only to kind hybrid (have %q)", o.Kind)
+		}
+	}
+	if o.K < 0 {
+		return fmt.Errorf("k must be non-negative, have %d", o.K)
+	}
+	if walEnabled && o.K > maxWALRankingSize {
+		return fmt.Errorf("the write-ahead log supports ranking sizes up to %d, have k=%d", maxWALRankingSize, o.K)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("shards must be non-negative, have %d", o.Shards)
+	}
+	if o.MaxTheta < 0 || o.MaxTheta > 1 {
+		return fmt.Errorf("maxTheta %v outside [0,1]", o.MaxTheta)
+	}
+	if o.Weight < 0 || o.Weight > 1 {
+		return fmt.Errorf("weight %v outside [0,1]", o.Weight)
+	}
+	return nil
+}
+
+// maxWALRankingSize is the ranking-size cap of the WAL record format (and
+// the persist checkpoint reader): one byte of k.
+const maxWALRankingSize = 255
+
+// Collection is one named tenant of the serving core: a sharded index, its
+// write-ahead log, its slice of the admission capacity, its query-cache
+// scope and its traffic counters. All fields are published before the
+// collection enters the registry and are immutable after, except the
+// counters and the drain state.
+type Collection struct {
+	name string
+	// cacheScope joins every query-cache key: name plus a registry-unique
+	// instance number, so dropping and recreating a collection can never
+	// serve entries cached against its predecessor even if the new instance
+	// reaches the same generation.
+	cacheScope string
+	opts       CollectionOptions
+	created    time.Time
+
+	sh *shard.Sharded
+	// admission is this tenant's carve of the global capacity (nil when the
+	// collection is unthrottled or admission is disabled); handlers acquire
+	// it BEFORE the global controller so a flooded tenant queues and sheds
+	// at its own carve.
+	admission *admit.Controller
+
+	queries     atomic.Uint64
+	knn         atomic.Uint64
+	batchShared atomic.Uint64
+	batchSplit  atomic.Uint64
+	mutations   atomic.Uint64
+
+	// wal, when non-nil, makes mutations durable: each handler applies the
+	// mutation and appends its record under walMu — one lock for both steps,
+	// so the log order always equals the apply order (two concurrent inserts
+	// must not ack in one order and replay in the other). Checkpoints take
+	// the same lock for their rotation+capture instant.
+	wal         *wal.Log
+	walMu       sync.Mutex
+	walReplayed int
+	// checkpointMu serializes whole POST /checkpoint requests (the snapshot
+	// streaming runs outside walMu so mutations continue meanwhile).
+	checkpointMu sync.Mutex
+	// walFatal is called when a WAL append fails after the mutation was
+	// already applied in memory; continuing would ack mutations the log
+	// cannot replay. Overridable in tests.
+	walFatal func(err error)
+
+	// refMu implements the drop drain: every data request holds it shared
+	// for its whole duration, drop takes it exclusively — which waits for
+	// all in-flight requests — and flips closed, after which lookups that
+	// raced the drop answer 404 instead of touching freed state.
+	refMu  sync.RWMutex
+	closed bool
+}
+
+// newCollection wires a built index into a tenant. wlog may be nil
+// (in-memory collection).
+func newCollection(name, cacheScope string, opts CollectionOptions, sh *shard.Sharded, wlog *wal.Log, replayed int, global *admit.Controller, maxWait time.Duration) *Collection {
+	c := &Collection{
+		name:        name,
+		cacheScope:  cacheScope,
+		opts:        opts,
+		created:     time.Now(),
+		sh:          sh,
+		wal:         wlog,
+		walReplayed: replayed,
+		walFatal: func(err error) {
+			fmt.Fprintf(os.Stderr, "fatal: wal append failed after the mutation was applied: %v\n", err)
+			os.Exit(1)
+		},
+	}
+	if opts.Weight > 0 && opts.Weight < 1 {
+		c.admission = admit.NewWeighted(global, opts.Weight, maxWait)
+	}
+	return c
+}
+
+// ref pins the collection for one request; false means the collection was
+// dropped between lookup and pin (the caller answers 404). unref releases.
+func (c *Collection) ref() bool {
+	c.refMu.RLock()
+	if c.closed {
+		c.refMu.RUnlock()
+		return false
+	}
+	return true
+}
+
+func (c *Collection) unref() { c.refMu.RUnlock() }
+
+// close drains and seals the collection: it blocks until every in-flight
+// request has released its ref, then closes the WAL. Requests arriving
+// after close see closed and answer 404. Idempotent.
+func (c *Collection) close() error {
+	c.refMu.Lock()
+	already := c.closed
+	c.closed = true
+	c.refMu.Unlock()
+	if already {
+		return nil
+	}
+	if c.wal != nil {
+		return c.wal.Close()
+	}
+	return nil
+}
+
+// effK is the ranking size queries and mutations are validated against:
+// the structural size once the collection holds data, the declared create
+// option while it is still empty, 0 when neither constrains it yet.
+func (c *Collection) effK() int {
+	if k := c.sh.K(); k != 0 {
+		return k
+	}
+	return c.opts.K
+}
+
+// generation is the query-cache validity stamp: acked mutations plus
+// installed epoch rebuilds, summed. Both components only grow, so any
+// mutation or rebuild moves the generation and every cached entry stamped
+// earlier stops matching — O(1) whole-cache invalidation. Mutation handlers
+// bump c.mutations after the index apply and before the ack, so a read
+// issued after an acked mutation always sees a newer generation than any
+// entry the mutation could have affected.
+func (c *Collection) generation() uint64 {
+	return c.mutations.Load() + c.sh.Rebuilds()
+}
+
+// applyInsert applies an insert and, with durability on, logs it before the
+// caller acks. walMu spans apply+append so replay order matches ack order.
+func (c *Collection) applyInsert(r ranking.Ranking) (ranking.ID, error) {
+	if c.wal == nil {
+		return c.sh.Insert(r)
+	}
+	c.walMu.Lock()
+	defer c.walMu.Unlock()
+	id, err := c.sh.Insert(r)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.wal.Append(wal.Record{Op: wal.OpInsert, ID: id, Ranking: r}); err != nil {
+		c.walFatal(err)
+		return 0, err
+	}
+	return id, nil
+}
+
+// applyDelete is the durable delete path; see applyInsert.
+func (c *Collection) applyDelete(id ranking.ID) error {
+	if c.wal == nil {
+		return c.sh.Delete(id)
+	}
+	c.walMu.Lock()
+	defer c.walMu.Unlock()
+	if err := c.sh.Delete(id); err != nil {
+		return err
+	}
+	if err := c.wal.Append(wal.Record{Op: wal.OpDelete, ID: id}); err != nil {
+		c.walFatal(err)
+		return err
+	}
+	return nil
+}
+
+// applyUpdate is the durable update path; see applyInsert.
+func (c *Collection) applyUpdate(id ranking.ID, r ranking.Ranking) error {
+	if c.wal == nil {
+		return c.sh.Update(id, r)
+	}
+	c.walMu.Lock()
+	defer c.walMu.Unlock()
+	if err := c.sh.Update(id, r); err != nil {
+		return err
+	}
+	if err := c.wal.Append(wal.Record{Op: wal.OpUpdate, ID: id, Ranking: r}); err != nil {
+		c.walFatal(err)
+		return err
+	}
+	return nil
+}
+
+// toJSON renders results with the collection's normalized distance.
+func (c *Collection) toJSON(rs []ranking.Result) []resultJSON {
+	k := c.effK()
+	if k == 0 {
+		k = 1 // empty collection: no results to normalize anyway
+	}
+	dmax := float64(topk.MaxDistance(k))
+	out := make([]resultJSON, len(rs))
+	for i, r := range rs {
+		out[i] = resultJSON{ID: r.ID, Dist: r.Dist, NormDist: float64(r.Dist) / dmax}
+	}
+	return out
+}

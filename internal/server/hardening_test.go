@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bytes"
@@ -25,7 +25,7 @@ import (
 func TestClientCancellationAnswers499(t *testing.T) {
 	srv, _, qs := testServer(t)
 	h := srv.routes()
-	before := srv.sh.DistanceCalls()
+	before := srv.defColl().sh.DistanceCalls()
 
 	b, err := json.Marshal(map[string]any{"query": qs[0], "theta": 0.2})
 	if err != nil {
@@ -41,7 +41,7 @@ func TestClientCancellationAnswers499(t *testing.T) {
 	if rec.Code != statusClientClosedRequest {
 		t.Fatalf("status %d, want 499 (%s)", rec.Code, rec.Body)
 	}
-	if got := srv.sh.DistanceCalls(); got != before {
+	if got := srv.defColl().sh.DistanceCalls(); got != before {
 		t.Fatalf("canceled request still evaluated %d distances", got-before)
 	}
 }
@@ -289,14 +289,14 @@ func TestCacheInvalidatedByEpochRebuild(t *testing.T) {
 		t.Fatalf("repeat query missed the cache: %+v", st)
 	}
 
-	genBefore := srv.generation()
+	genBefore := srv.defColl().generation()
 	if err := sh.Compact(); err != nil {
 		t.Fatal(err)
 	}
 	if sh.Rebuilds() == 0 {
 		t.Fatal("compaction installed no epoch rebuild")
 	}
-	if srv.generation() == genBefore {
+	if srv.defColl().generation() == genBefore {
 		t.Fatal("epoch rebuild did not move the cache generation")
 	}
 	invBefore := srv.cache.Stats().Invalidations

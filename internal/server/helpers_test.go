@@ -1,0 +1,38 @@
+package server
+
+import (
+	"io"
+
+	"topk/internal/shard"
+	"topk/internal/wal"
+)
+
+// newServer builds a ready single-collection server around sh — the shape
+// the pre-registry tests were written against. Admission control and the
+// query cache are off; tests that need them install their own.
+func newServer(sh *shard.Sharded, kind string) *Server {
+	s, err := New(Config{Kind: kind, MaxConcurrency: -1, Log: io.Discard})
+	if err != nil {
+		panic(err)
+	}
+	if sh != nil {
+		s.install(sh, nil, 0)
+	}
+	return s
+}
+
+// install publishes sh as the default collection and flips ready — the
+// programmatic equivalent of bootstrap for tests that build their own index.
+func (s *Server) install(sh *shard.Sharded, wlog *wal.Log, replayed int) {
+	opts := CollectionOptions{Kind: s.cfg.Kind}
+	c := newCollection(s.cfg.DefaultCollection, s.nextCacheScope(s.cfg.DefaultCollection),
+		opts, sh, wlog, replayed, s.admission, s.cfg.MaxQueueWait)
+	s.publish(c)
+	s.ready.Store(true)
+}
+
+// defColl resolves the default collection the legacy routes alias to.
+func (s *Server) defColl() *Collection {
+	c, _ := s.lookup(s.cfg.DefaultCollection)
+	return c
+}

@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bytes"
@@ -18,7 +18,7 @@ import (
 	"topk/internal/shard"
 )
 
-func testServer(t *testing.T) (*server, []ranking.Ranking, []ranking.Ranking) {
+func testServer(t *testing.T) (*Server, []ranking.Ranking, []ranking.Ranking) {
 	t.Helper()
 	cfg := dataset.NYTLike(400, 10)
 	rs, err := dataset.Generate(cfg)

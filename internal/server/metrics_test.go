@@ -2,7 +2,7 @@
 // must be grammatically well-formed, every family must carry # HELP and
 // # TYPE headers, le-buckets must be cumulative and end in +Inf, and the
 // rendered values must agree with GET /stats after a scripted workload.
-package main
+package server
 
 import (
 	"bytes"

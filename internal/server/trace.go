@@ -1,13 +1,13 @@
-// Per-query tracing for topkserve. Every request gets an X-Request-ID
-// (propagated from the client or generated), and a span recorder captures
-// where its time went: parse → plan → shard fan-out → merge → respond for
-// searches. Finished traces land in a bounded in-memory ring served at GET
-// /debug/trace, and any request slower than -slow-query is additionally
-// written to stderr as one line of JSON — enough to reconstruct what the
-// query was (route, θ, k, batch size), which hybrid backends answered it,
-// what it cost (distance calls) and which stage ate the time, without
-// attaching a profiler.
-package main
+// Per-query tracing for the serving core. Every request gets an
+// X-Request-ID (propagated from the client or generated), and a span
+// recorder captures where its time went: parse → plan → shard fan-out →
+// merge → respond for searches. Finished traces land in a bounded in-memory
+// ring served at GET /debug/trace, and any request slower than -slow-query
+// is additionally written to stderr as one line of JSON — enough to
+// reconstruct what the query was (route, collection, θ, k, batch size),
+// which hybrid backends answered it, what it cost (distance calls) and
+// which stage ate the time, without attaching a profiler.
+package server
 
 import (
 	"crypto/rand"
@@ -37,6 +37,9 @@ type requestTrace struct {
 	Start       time.Time `json:"start"`
 	Status      int       `json:"status"`
 	TotalMicros float64   `json:"totalMicros"`
+	// Collection names the tenant a data route resolved to (empty for
+	// process-level routes like /metrics).
+	Collection string `json:"collection,omitempty"`
 	// Theta, Queries and K describe a search request's shape: threshold
 	// (the first of a mixed-radius batch), batch size and ranking size.
 	Theta   float64 `json:"theta,omitempty"`
@@ -66,6 +69,14 @@ func (tr *requestTrace) addStageMicros(name string, micros float64) {
 		return
 	}
 	tr.Stages = append(tr.Stages, traceStage{Name: name, Micros: micros})
+}
+
+// setCollection records which tenant the route resolved to.
+func (tr *requestTrace) setCollection(name string) {
+	if tr == nil {
+		return
+	}
+	tr.Collection = name
 }
 
 // setQueryShape records what the search asked for.
@@ -182,6 +193,6 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 }
 
 // handleDebugTrace dumps the trace ring, most recent first.
-func (s *server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"traces": s.tracer.recent()})
 }

@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bytes"
@@ -28,9 +28,9 @@ import (
 // startWALServer walks the exact startup path of main: resolve the base
 // collection (checkpoint beats snapshot), build the sharded index, replay
 // the WAL suffix, open the log for appending.
-func startWALServer(t *testing.T, kind, snapPath, walDir string) *server {
+func startWALServer(t *testing.T, kind, snapPath, walDir string) *Server {
 	t.Helper()
-	rankings, cpSeq, err := loadBase("", snapPath, walDir)
+	rankings, cpSeq, err := loadBase("", snapPath, walDir, io.Discard)
 	if err != nil {
 		t.Fatalf("loadBase: %v", err)
 	}
@@ -38,8 +38,7 @@ func startWALServer(t *testing.T, kind, snapPath, walDir string) *server {
 	if err != nil {
 		t.Fatalf("shard.New: %v", err)
 	}
-	s := newServer(sh, kind)
-	replayed, err := recoverWAL(walDir, cpSeq, sh)
+	replayed, err := recoverWAL(walDir, cpSeq, sh, io.Discard)
 	if err != nil {
 		t.Fatalf("recoverWAL: %v", err)
 	}
@@ -47,14 +46,15 @@ func startWALServer(t *testing.T, kind, snapPath, walDir string) *server {
 	if err != nil {
 		t.Fatalf("wal.Open: %v", err)
 	}
-	s.wal, s.walReplayed = wlog, replayed
-	s.walFatal = func(err error) { t.Fatalf("wal append failed: %v", err) }
+	s := newServer(nil, kind)
+	s.install(sh, wlog, replayed)
+	s.defColl().walFatal = func(err error) { t.Fatalf("wal append failed: %v", err) }
 	return s
 }
 
-func stopWALServer(t *testing.T, s *server) {
+func stopWALServer(t *testing.T, s *Server) {
 	t.Helper()
-	if err := s.wal.Close(); err != nil {
+	if err := s.defColl().wal.Close(); err != nil {
 		t.Fatalf("wal close: %v", err)
 	}
 }
@@ -148,11 +148,11 @@ func TestWALRecoveryAcrossRestart(t *testing.T) {
 
 	// Run 2: recovery must replay all 1st-run records.
 	s2 := startWALServer(t, "hybrid", snapPath, walDir)
-	if s2.walReplayed == 0 {
+	if s2.defColl().walReplayed == 0 {
 		t.Fatal("restart replayed no records")
 	}
-	difftest.CheckSearch(t, "post-restart", s2.sh, o, rng, 15, domain)
-	gotSlots, _ := s2.sh.Slots()
+	difftest.CheckSearch(t, "post-restart", s2.defColl().sh, o, rng, 15, domain)
+	gotSlots, _ := s2.defColl().sh.Slots()
 	if !slotsEqual(gotSlots, o.Slots()) {
 		t.Fatal("recovered slot view is not byte-identical to the oracle")
 	}
@@ -183,8 +183,8 @@ func TestWALRecoveryAcrossRestart(t *testing.T) {
 	// Run 3: base comes from the checkpoint now; only post-checkpoint
 	// records replay.
 	s3 := startWALServer(t, "hybrid", snapPath, walDir)
-	difftest.CheckSearch(t, "post-checkpoint-restart", s3.sh, o, rng, 15, domain)
-	gotSlots, _ = s3.sh.Slots()
+	difftest.CheckSearch(t, "post-checkpoint-restart", s3.defColl().sh, o, rng, 15, domain)
+	gotSlots, _ = s3.defColl().sh.Slots()
 	if !slotsEqual(gotSlots, o.Slots()) {
 		t.Fatal("post-checkpoint recovery diverged from the oracle")
 	}
@@ -211,7 +211,7 @@ func TestWALRecoveryTornTail(t *testing.T) {
 	o := difftest.NewOracle(cfg)
 	s1 := startWALServer(t, "inverted", snapPath, walDir)
 	mutateOverHTTP(t, s1.routes(), o, rng, 60, 80)
-	appended := int(s1.wal.Stats().Appended)
+	appended := int(s1.defColl().wal.Stats().Appended)
 	stopWALServer(t, s1)
 
 	// Tear the tail of the only segment mid-record.
@@ -233,7 +233,7 @@ func TestWALRecoveryTornTail(t *testing.T) {
 	s2 := startWALServer(t, "inverted", snapPath, walDir)
 	// Every record is at least 15 bytes, so removing 5 bytes tears exactly
 	// the final one: recovery keeps the longest acked prefix.
-	if got, want := s2.walReplayed, appended-1; got != want {
+	if got, want := s2.defColl().walReplayed, appended-1; got != want {
 		t.Fatalf("replayed %d records, want %d (one torn)", got, want)
 	}
 	stopWALServer(t, s2)
@@ -294,7 +294,7 @@ func TestShutdownDrainsInflightSearch(t *testing.T) {
 	hs := &http.Server{Handler: slow}
 	ctx, cancel := context.WithCancel(context.Background())
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- serveUntilShutdown(ctx, hs, ln, srv, 5*time.Second) }()
+	go func() { serveDone <- srv.serveUntilShutdown(ctx, hs, ln, 5*time.Second) }()
 
 	url := fmt.Sprintf("http://%s/search", ln.Addr())
 	body, _ := json.Marshal(map[string]any{"query": qs[0], "theta": 0.2})

@@ -140,6 +140,35 @@ func New(rankings []ranking.Ranking, numShards int, build Builder) (*Sharded, er
 	return s, nil
 }
 
+// NewEmpty builds a sharded index over an empty collection for dynamically
+// created collections that grow through Insert: numShards sub-indices are
+// built from empty slot views (numShards ≤ 0 selects GOMAXPROCS), every
+// shard starts with a zero-width id range, and — as always — inserts extend
+// the open-ended range of the last shard. The ranking size is undefined
+// until the first insert: K reports 0 and then the size of whatever the
+// collection holds. Only slot-capable (mutable) builders make sense here;
+// a builder that rejects an empty slice fails NewEmpty the same way.
+func NewEmpty(numShards int, build Builder) (*Sharded, error) {
+	if numShards <= 0 {
+		numShards = runtime.GOMAXPROCS(0)
+	}
+	s := &Sharded{
+		shards:  make([]Index, numShards),
+		offsets: make([]ranking.ID, numShards),
+		sizes:   make([]int, numShards),
+		hists:   make([]*Histogram, numShards),
+	}
+	for i := range s.shards {
+		ix, err := build(nil)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.shards[i] = ix
+		s.hists[i] = &Histogram{}
+	}
+	return s, nil
+}
+
 // NumShards returns the number of sub-indices.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
@@ -153,8 +182,20 @@ func (s *Sharded) Len() int {
 	return n
 }
 
-// K implements Index.
-func (s *Sharded) K() int { return s.k }
+// K implements Index. A collection built empty (NewEmpty) has no ranking
+// size until its first insert: K reports 0 while every shard is empty and
+// the size of the first shard that holds a ranking after.
+func (s *Sharded) K() int {
+	if s.k != 0 {
+		return s.k
+	}
+	for _, sh := range s.shards {
+		if k := sh.K(); k != 0 {
+			return k
+		}
+	}
+	return 0
+}
 
 // Mutable reports whether every sub-index supports mutations; only then do
 // Insert, Delete and Update route.
