@@ -16,6 +16,8 @@
 // internal/persist; -load-snapshot starts from such a snapshot instead of
 // parsing text, skipping the parse cost on repeat runs. The same snapshots
 // are accepted by topkserve -load-snapshot and topkgen -format binary.
+// All persist formats load: dense v1, slotted v2, and the paged v3 format
+// that topkserve writes as checkpoints and mmaps on startup.
 package main
 
 import (

@@ -99,6 +99,8 @@ func main() {
 		maxWait    = flag.Duration("max-queue-wait", time.Second, "admission control: longest a queued request waits for a slot before shedding with 429 (0 = wait as long as the request's own deadline allows)")
 		cacheSize  = flag.Int("cache-entries", 0, "query-result cache capacity in entries for /search single queries and /knn, shared across collections with per-collection scoping; any acked mutation or epoch rebuild invalidates (0 disables)")
 		defColl    = flag.String("default-collection", server.DefaultCollectionName, "name the legacy single-collection routes (/search, /insert, ...) alias to")
+		useMmap    = flag.Bool("mmap", true, "serve paged (v3) checkpoints through a read-only memory mapping instead of decoding them to the heap; -mmap=false reads the file whole and verifies every page checksum")
+		spill      = flag.Bool("spill-epochs", false, "hybrid only: write each epoch's ranking arena to an unlinked mmapped paged file (next to the collection's WAL when durable) so cold collections live in page cache, not heap")
 	)
 	flag.StringVar(kind, "index", *kind, "deprecated alias for -kind")
 	flag.Parse()
@@ -128,6 +130,8 @@ func main() {
 		MaxQueue:          *maxQueue,
 		MaxQueueWait:      *maxWait,
 		CacheEntries:      *cacheSize,
+		Mmap:              *useMmap,
+		SpillEpochs:       *spill,
 		SetFlags:          set,
 	})
 	if err != nil {

@@ -7,6 +7,7 @@ package topk
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"topk/internal/kernel"
 	"topk/internal/knn"
 	"topk/internal/metric"
+	"topk/internal/persist"
 	"topk/internal/planner"
 	"topk/internal/ranking"
 	"topk/internal/stats"
@@ -108,6 +110,10 @@ type hybridEpoch struct {
 
 	thetaC        float64
 	footruleNanos float64 // calibrated cost of one delta-scan distance call
+
+	// spillBytes is the size of the mmapped paged arena backing this epoch
+	// (0 when the arena is heap-resident; see WithHybridSpill).
+	spillBytes int
 }
 
 // HybridOption configures NewHybridIndex.
@@ -119,6 +125,7 @@ type hybridConfig struct {
 	maxTheta   float64
 	calibrate  int
 	deltaRatio float64
+	spillDir   string
 }
 
 // WithHybridBackends selects which physical backends to build (default
@@ -148,6 +155,24 @@ func WithHybridMaxTheta(maxTheta float64) HybridOption {
 // priors alone. Costs n × backends × |grid| queries up front.
 func WithHybridCalibration(n int) HybridOption {
 	return func(c *hybridConfig) { c.calibrate = n }
+}
+
+// WithHybridSpill makes every epoch build spill its k-strided ranking arena
+// to a paged snapshot v3 temp file under dir ("" selects the OS temp
+// directory) and serve it through a read-only memory mapping instead of heap
+// memory: queries run over page-cache-backed views, so cold pages of a
+// rarely-queried collection can be evicted by the OS. The file is unlinked
+// as soon as it is mapped and the mapping lives until process exit (epoch
+// views can outlive the epoch in concurrent queries and snapshot streams).
+// On platforms without mmap, or when the spill write fails, the build falls
+// back to the in-memory arena. Query results are byte-identical either way.
+func WithHybridSpill(dir string) HybridOption {
+	return func(c *hybridConfig) {
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		c.spillDir = dir
+	}
 }
 
 // WithHybridDeltaRatio sets the overlay fraction — delta inserts plus
@@ -224,13 +249,15 @@ func buildEpoch(slots []Ranking, cfg hybridConfig) (*hybridEpoch, map[string][]f
 	// by every backend of the epoch: the inverted and blocked structures
 	// index the store directly (batched kernel validation against contiguous
 	// memory), and ep.base holds its views, so the epoch carries one copy of
-	// the ranking payload instead of one per backend.
-	st := kernel.NewStore(live)
+	// the ranking payload instead of one per backend. With WithHybridSpill
+	// the arena lives in an mmapped paged-v3 temp file instead of the heap.
+	st, spillBytes := epochStore(live, cfg.spillDir)
 	live = st.Views()
 	ep := &hybridEpoch{
 		ids:           m,
 		base:          live,
 		dead:          make([]bool, len(live)),
+		spillBytes:    spillBytes,
 		thetaC:        0.5,
 		footruleNanos: defaultFootruleNanos,
 	}
@@ -285,6 +312,63 @@ func buildEpoch(slots []Ranking, cfg hybridConfig) (*hybridEpoch, map[string][]f
 	}
 	return ep, priorCurves, nil
 }
+
+// epochStore flattens the live collection into the epoch's shared store.
+// Without a spill directory this is a plain heap arena. With one, the live
+// rankings are written as a paged snapshot v3 temp file, mmapped read-only,
+// and immediately unlinked — the store then borrows the mapping's views and
+// the reported size is the mapped byte count. Any failure along the spill
+// path (full disk, no mmap on this platform) degrades to the heap arena:
+// spilling is a memory-residency optimization, never a correctness
+// dependency.
+func epochStore(live []Ranking, spillDir string) (*kernel.Store, int) {
+	if spillDir == "" || len(live) == 0 {
+		return kernel.NewStore(live), 0
+	}
+	st, n, err := spillEpochStore(live, spillDir)
+	if err != nil {
+		return kernel.NewStore(live), 0
+	}
+	return st, n
+}
+
+// spillEpochStore writes live as a paged v3 file under dir and returns a
+// borrowed store over its mapping. The file is unlinked right after opening:
+// on unix the mapping keeps the pages alive, and the mapping itself is
+// retained until process exit because epoch views escape into queries,
+// snapshot streams and rebuilds that can outlive the epoch installing them.
+func spillEpochStore(live []Ranking, dir string) (*kernel.Store, int, error) {
+	f, err := os.CreateTemp(dir, "epoch-*.v3")
+	if err != nil {
+		return nil, 0, err
+	}
+	path := f.Name()
+	if _, err := persist.WritePagedTo(f, live); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return nil, 0, err
+	}
+	pc, err := persist.OpenPagedFile(path, true)
+	os.Remove(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !pc.Mapped() {
+		// The fallback full read would double memory (heap copy and no page
+		// cache sharing) for zero benefit over a plain arena.
+		pc.Close()
+		return nil, 0, errSpillNotMapped
+	}
+	return kernel.NewStoreFromViews(pc.Layout().K, pc.Slots()), pc.MappedBytes(), nil
+}
+
+// errSpillNotMapped reports that OpenPagedFile fell back to a full read, so
+// the spill would not save heap memory.
+var errSpillNotMapped = fmt.Errorf("topk: spill file could not be mmapped")
 
 // priorsFor orders the model's prior curves by backend name; nil entries
 // (unknown names, or no fitted model) select flat priors.
@@ -729,6 +813,15 @@ func (h *HybridIndex) Tombstones() int {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	return h.ep.deadBase + h.ep.deadDelta
+}
+
+// SpillBytes reports the size of the mmapped paged arena backing the current
+// epoch, or 0 when the epoch is heap-resident (no WithHybridSpill, empty
+// collection, or the spill fell back to the heap).
+func (h *HybridIndex) SpillBytes() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ep.spillBytes
 }
 
 // Rebuilds reports how many epoch rebuilds (background folds and explicit

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"topk/internal/dataset"
+	"topk/internal/kernel"
+	"topk/internal/persist"
+	"topk/internal/ranking"
+	"topk/internal/wal"
+)
+
+// Startup measures cold-start cost per recovery source: how long until a
+// collection written N rankings ago is queryable again, split into the
+// restore phase (bytes on disk → slot array) and the first query against the
+// restored slots (compile + full linear validation, the topkquery oracle
+// shape). Four sources, the recovery paths the server actually has:
+//
+//	replay     re-apply N WAL insert records (no checkpoint at all)
+//	v2-decode  monolithic snapshot v2, per-ranking decode to the heap
+//	v3-read    paged snapshot v3, read whole + every page checksummed
+//	v3-mmap    paged snapshot v3, mmapped, slot views alias the mapping
+//
+// Record names follow startup/<phase>/<source>/n=N. The mmap restore does no
+// per-ranking work, so its cost is O(pages) checksum + view construction —
+// the gap to v2-decode is the point of the paged format.
+func Startup(k int, sizes []int) ([]KernelRecord, Table, error) {
+	var recs []KernelRecord
+	for _, n := range sizes {
+		cfg := dataset.NYTLike(n, k)
+		rs, err := dataset.Generate(cfg)
+		if err != nil {
+			return nil, Table{}, err
+		}
+		queries, err := dataset.Workload(rs, cfg, 4, 0.8, cfg.Seed+900)
+		if err != nil {
+			return nil, Table{}, err
+		}
+		q := queries[0]
+
+		dir, err := os.MkdirTemp("", "topkbench-startup-*")
+		if err != nil {
+			return nil, Table{}, err
+		}
+		defer os.RemoveAll(dir)
+
+		v2Path := filepath.Join(dir, "snap-v2.bin")
+		f, err := os.Create(v2Path)
+		if err != nil {
+			return nil, Table{}, err
+		}
+		if _, err := persist.WriteCollection(f, rs); err != nil {
+			f.Close()
+			return nil, Table{}, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, Table{}, err
+		}
+		v3Path := filepath.Join(dir, "snap-v3.bin")
+		if err := persist.WritePagedFile(v3Path, rs); err != nil {
+			return nil, Table{}, err
+		}
+		walDir := filepath.Join(dir, "wal")
+		wlog, err := wal.Open(walDir, wal.WithSyncEvery(0))
+		if err != nil {
+			return nil, Table{}, err
+		}
+		for id, r := range rs {
+			if err := wlog.Append(wal.Record{Op: wal.OpInsert, ID: ranking.ID(id), Ranking: r}); err != nil {
+				wlog.Close()
+				return nil, Table{}, err
+			}
+		}
+		if err := wlog.Close(); err != nil {
+			return nil, Table{}, err
+		}
+
+		// restore measures source → slot array only; firstQuery additionally
+		// compiles the query and validates every live slot, so a restore that
+		// defers decode work (mmap views) still pays it here, visibly.
+		type source struct {
+			name    string
+			restore func() ([]ranking.Ranking, func(), error)
+		}
+		sources := []source{
+			{"replay", func() ([]ranking.Ranking, func(), error) {
+				slots := make([]ranking.Ranking, 0, n)
+				_, err := wal.Replay(walDir, 0, func(rec wal.Record) error {
+					for int(rec.ID) >= len(slots) {
+						slots = append(slots, nil)
+					}
+					slots[rec.ID] = rec.Ranking
+					return nil
+				})
+				return slots, func() {}, err
+			}},
+			{"v2-decode", func() ([]ranking.Ranking, func(), error) {
+				slots, err := persist.ReadCollectionFile(v2Path)
+				return slots, func() {}, err
+			}},
+			{"v3-read", func() ([]ranking.Ranking, func(), error) {
+				pc, err := persist.OpenPagedFile(v3Path, false)
+				if err != nil {
+					return nil, nil, err
+				}
+				return pc.Slots(), func() { pc.Close() }, nil
+			}},
+			{"v3-mmap", func() ([]ranking.Ranking, func(), error) {
+				pc, err := persist.OpenPagedFile(v3Path, true)
+				if err != nil {
+					return nil, nil, err
+				}
+				return pc.Slots(), func() { pc.Close() }, nil
+			}},
+		}
+		for _, src := range sources {
+			src := src
+			var benchErr error
+			restore := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					slots, release, err := src.restore()
+					if err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+					kernelSink += len(slots)
+					release()
+				}
+			})
+			if benchErr != nil {
+				return nil, Table{}, fmt.Errorf("startup restore %s: %w", src.name, benchErr)
+			}
+			recs = append(recs, record(fmt.Sprintf("startup/restore/%s/n=%d", src.name, n), k, n, restore))
+
+			first := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					slots, release, err := src.restore()
+					if err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+					kn := kernel.New()
+					kn.Compile(q)
+					hits := 0
+					for _, r := range slots {
+						if r != nil && kn.Distance(r) <= ranking.MaxDistance(k)/4 {
+							hits++
+						}
+					}
+					kernelSink += hits
+					release()
+				}
+			})
+			if benchErr != nil {
+				return nil, Table{}, fmt.Errorf("startup first-query %s: %w", src.name, benchErr)
+			}
+			recs = append(recs, record(fmt.Sprintf("startup/first-query/%s/n=%d", src.name, n), k, n, first))
+		}
+	}
+
+	t := Table{
+		Title:   "Cold-start restore + first query, by recovery source (NYT-like)",
+		Columns: []string{"benchmark", "k", "n", "ns/op", "allocs/op"},
+		Notes: []string{
+			"restore = bytes on disk -> slot array; first-query adds one compiled linear validation",
+			"v3-mmap restore does no per-ranking decode: cost is page checksums + view construction",
+		},
+	}
+	for _, r := range recs {
+		t.Rows = append(t.Rows, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.K),
+			fmt.Sprintf("%d", r.N),
+			fmt.Sprintf("%d", r.NsPerOp),
+			fmt.Sprintf("%d", r.AllocsPerOp),
+		})
+	}
+	return recs, t, nil
+}

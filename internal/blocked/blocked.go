@@ -83,13 +83,24 @@ func NewFromStore(st *kernel.Store) *Index {
 		idx.k = 0
 		return idx
 	}
-	n, k, flat := st.Len(), st.K(), st.Flat()
+	n, k := st.Len(), st.K()
+	// rows carries the same content as the flat arena; a borrowed store
+	// (views over a mapped snapshot) has only rows, so build off them.
+	rows := st.Views()
 	// Counting sort into one packed arena: count per item, carve the arena by
 	// sorted dictionary order, scatter postings in id order, then rank-sort
 	// each segment in place and cut its block offset table.
 	counts := make(map[ranking.Item]int, n)
-	for _, it := range flat {
-		counts[it]++
+	if flat := st.Flat(); flat != nil {
+		for _, it := range flat {
+			counts[it]++
+		}
+	} else {
+		for _, row := range rows {
+			for _, it := range row {
+				counts[it]++
+			}
+		}
 	}
 	dict := make([]ranking.Item, 0, len(counts))
 	for it := range counts {
@@ -106,7 +117,7 @@ func NewFromStore(st *kernel.Store) *Index {
 	}
 	idx.arena = make([]invindex.Posting, n*k)
 	for id := 0; id < n; id++ {
-		row := flat[id*k : (id+1)*k]
+		row := rows[id]
 		for rank, it := range row {
 			c := cursor[it]
 			idx.arena[c] = invindex.Posting{ID: ranking.ID(id), Rank: uint8(rank)}

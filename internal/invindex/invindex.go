@@ -126,10 +126,21 @@ func newFromStore(st *kernel.Store) *Index {
 func (idx *Index) buildCSR() {
 	st := idx.store
 	n, k := st.Len(), st.K()
-	flat := st.Flat()
+	// A borrowed store (views over a mapped snapshot) has no contiguous
+	// arena; its per-slot views carry identical content, so every pass
+	// below works row-wise off rows.
+	rows := st.Views()
 	counts := make(map[ranking.Item]int, n)
-	for _, it := range flat {
-		counts[it]++
+	if flat := st.Flat(); flat != nil {
+		for _, it := range flat {
+			counts[it]++
+		}
+	} else {
+		for _, row := range rows {
+			for _, it := range row {
+				counts[it]++
+			}
+		}
 	}
 	dict := make([]ranking.Item, 0, len(counts))
 	for it := range counts {
@@ -144,7 +155,7 @@ func (idx *Index) buildCSR() {
 	}
 	postings := make([]Posting, n*k)
 	for id := 0; id < n; id++ {
-		row := flat[id*k : (id+1)*k]
+		row := rows[id]
 		for rank, it := range row {
 			c := cursor[it]
 			postings[c] = Posting{ID: ranking.ID(id), Rank: uint8(rank)}

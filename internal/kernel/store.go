@@ -23,6 +23,10 @@ type Store struct {
 	// capacity clamped to its own stride so an append by a holder of a view
 	// copies out of the arena instead of clobbering the next slot.
 	views []ranking.Ranking
+	// borrowed marks a store whose views alias foreign memory (typically a
+	// read-only mapped snapshot) instead of an owned flat arena: flat stays
+	// nil, batched kernels evaluate per view, and SetSlot copies on write.
+	borrowed bool
 }
 
 // NewStore copies rs into a freshly allocated flat array. All rankings must
@@ -50,6 +54,43 @@ func NewStore(rs []ranking.Ranking) *Store {
 	return st
 }
 
+// NewStoreFromViews wraps existing equal-length rankings — typically
+// page-aligned views over a mapped v3 snapshot — as a borrowed Store:
+// no arena is allocated and nothing is copied. Each view's capacity is
+// clamped to k so an append by any holder copies out rather than writing
+// past a slot, exactly as with an owned arena.
+func NewStoreFromViews(k int, views []ranking.Ranking) *Store {
+	st := &Store{k: k, borrowed: true, views: make([]ranking.Ranking, len(views))}
+	for i, r := range views {
+		if len(r) != k {
+			panic(fmt.Sprintf("kernel: ranking %d has length %d, store stride is %d", i, len(r), k))
+		}
+		st.views[i] = r[:k:k]
+	}
+	return st
+}
+
+// Borrowed reports whether the store views foreign memory instead of
+// owning a flat arena.
+func (st *Store) Borrowed() bool { return st.borrowed }
+
+// SetSlot replaces slot id's contents. An owned store writes its arena in
+// place; a borrowed store copies on write — the slot is repointed at a
+// fresh heap copy and the underlying memory (which may be a read-only
+// mapping, where an in-place write would fault) is never touched.
+func (st *Store) SetSlot(id ranking.ID, r ranking.Ranking) {
+	if len(r) != st.k {
+		panic(fmt.Sprintf("kernel: SetSlot ranking has length %d, store stride is %d", len(r), st.k))
+	}
+	if st.borrowed {
+		cp := make(ranking.Ranking, st.k)
+		copy(cp, r)
+		st.views[id] = cp
+		return
+	}
+	copy(st.views[id], r)
+}
+
 // Len reports the number of slots.
 func (st *Store) Len() int { return len(st.views) }
 
@@ -66,5 +107,7 @@ func (st *Store) Slot(id ranking.ID) ranking.Ranking { return st.views[id] }
 func (st *Store) Views() []ranking.Ranking { return st.views[:len(st.views):len(st.views)] }
 
 // Flat exposes the raw backing array (read-only by convention); batched
-// kernels and future paging code iterate it directly.
+// kernels and paging code iterate it directly. It is nil for borrowed
+// stores, whose slots live in foreign (possibly non-contiguous) memory —
+// callers must fall back to Views.
 func (st *Store) Flat() []ranking.Item { return st.flat }

@@ -28,6 +28,15 @@ func rankingsSeed() []byte {
 	return buf.Bytes()
 }
 
+// pagedSeed builds a valid v3 paged snapshot with a tombstone hole.
+func pagedSeed() []byte {
+	var buf bytes.Buffer
+	if _, err := WritePagedTo(&buf, []ranking.Ranking{{1, 2, 3}, nil, {3, 2, 1}}); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzSnapshot feeds arbitrary (corrupted, truncated, hostile) bytes to
 // every persist reader: they must never panic, never allocate absurdly, and
 // anything they do accept must round-trip byte-identically through the
@@ -50,6 +59,13 @@ func FuzzSnapshot(f *testing.F) {
 	binary.LittleEndian.PutUint32(huge[8:], 0xffffffff)
 	binary.LittleEndian.PutUint32(huge[12:], 10)
 	f.Add(huge)
+	// Paged v3 seeds: valid, truncated, and bit-flipped inside a page.
+	pseed := pagedSeed()
+	f.Add(pseed)
+	f.Add(pseed[:len(pseed)-1])
+	pflip := append([]byte(nil), pseed...)
+	pflip[pagedHeaderSize+1] ^= 0xff
+	f.Add(pflip)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Readers must not panic on any input.
@@ -85,6 +101,28 @@ func FuzzSnapshot(f *testing.F) {
 		// must be equally panic-free.
 		_, _ = ReadInvIndex(bytes.NewReader(data))
 		_, _ = ReadBKTree(bytes.NewReader(data))
+		// Paged v3: anything accepted must round-trip slot-identically
+		// through the paged writer; checkpoint footers must never panic.
+		if pc, err := ReadPagedAll(data); err == nil {
+			var buf bytes.Buffer
+			if _, err := WritePagedTo(&buf, pc.Slots()); err != nil {
+				t.Fatalf("accepted paged slots failed to re-serialize: %v", err)
+			}
+			back, err := ReadPagedAll(buf.Bytes())
+			if err != nil {
+				t.Fatalf("rewritten paged snapshot rejected: %v", err)
+			}
+			if len(back.Slots()) != len(pc.Slots()) {
+				t.Fatalf("paged round-trip changed slot count: %d -> %d", len(pc.Slots()), len(back.Slots()))
+			}
+			for i := range pc.Slots() {
+				a, b := pc.Slots()[i], back.Slots()[i]
+				if (a == nil) != (b == nil) || !a.Equal(b) {
+					t.Fatalf("paged round-trip changed slot %d: %v -> %v", i, a, b)
+				}
+			}
+		}
+		_, _ = decodeFooter(data)
 	})
 }
 

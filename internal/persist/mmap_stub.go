@@ -1,0 +1,11 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// mmapFile on platforms without POSIX mmap reports errNoMmap; every caller
+// falls back to the full-read path.
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	return nil, nil, errNoMmap
+}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared. The returned release
+// func unmaps; every view cut from the mapping dies with it. A read-only
+// mapping is also the memory-safety backstop of the whole borrowed-store
+// design: the serving stack never writes ranking bytes in place (mutations
+// are delete+append), and any future violation of that invariant faults
+// loudly instead of silently corrupting the snapshot.
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	if size <= 0 {
+		return nil, nil, errNoMmap
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

@@ -1,0 +1,494 @@
+// Snapshot format v3: a paged, page-aligned layout whose data region is
+// exactly the serving representation — the kernel.Store k-strided ranking
+// arena plus a one-byte-per-slot liveness table — cut into fixed-size pages
+// with a per-page CRC-32C and a footer index. Because the on-disk bytes ARE
+// the in-memory bytes, loading is not a decode: the file (or the shared page
+// file of an incremental checkpoint, see pager.go) is mapped and the slot
+// array becomes views over the mapping, so restart cost is O(pages touched)
+// instead of O(collection). A full-read path covers platforms without mmap
+// and callers that want every page checksum verified up front.
+//
+// Single-file layout (WritePagedTo / OpenPagedFile):
+//
+//	[0, 4096)    header: magic "TKP3", version 3, pageSize, k,
+//	             slotCount (u64), pageCount, headerSize, CRC-32C of the
+//	             preceding 32 bytes; zero padding. One OS page, so page 0
+//	             is OS-page-aligned when mapped.
+//	[4096, …)    the logical pages in order: first the flag pages (one
+//	             liveness byte per slot, pageSize slots per page), then the
+//	             arena pages (⌊pageSize/4k⌋ rankings per page, k little-
+//	             endian uint32 items each, rows never straddling a page).
+//	tail         footer: pageCount × u32 page CRC-32Cs, u32 CRC of that
+//	             table, u32 table length, u32 footer magic "TKPF".
+//
+// Every count in the header is validated against the actual file size
+// before anything is allocated, so truncated or bit-flipped snapshots fail
+// with ErrCorrupt instead of provoking huge allocations or panics.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"unsafe"
+
+	"topk/internal/kernel"
+	"topk/internal/ranking"
+)
+
+const (
+	pagedMagic  = 0x544b5033 // "TKP3"
+	footerMagic = 0x544b5046 // "TKPF"
+	versionV3   = 3
+
+	// DefaultPageSize is the v3 page size: large enough that the footer
+	// stays tiny relative to the data, small enough that an incremental
+	// checkpoint after a small mutation burst rewrites little.
+	DefaultPageSize = 1 << 16
+
+	// pagedHeaderSize is the fixed offset of the page region in single-file
+	// snapshots: one OS page, so every page offset is OS-page-aligned in a
+	// mapping of the whole file.
+	pagedHeaderSize = 4096
+
+	minPageSize     = 1 << 12
+	maxPageSize     = 1 << 24
+	itemSize        = 4 // bytes per ranking.Item (uint32)
+	pagedTrailerLen = 12
+	maxSlotCount    = 1 << 40
+)
+
+// ErrCorrupt is returned when a snapshot is structurally inconsistent —
+// checksum mismatch, geometry that does not fit the file, counts that
+// disagree with each other. Distinct from ErrBadFormat, which means "not
+// this artifact kind / unknown version".
+var ErrCorrupt = errors.New("persist: corrupt snapshot")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errNoMmap marks "the platform cannot map this file"; loaders fall back
+// to the full-read path on it.
+var errNoMmap = errors.New("persist: mmap unavailable")
+
+// hostLittle gates the zero-copy view cast: the format is fixed
+// little-endian, so big-endian hosts decode copies instead.
+var hostLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Layout fixes the page geometry of a v3 snapshot. Flag pages come first
+// (pageSize slots per page), then arena pages (SlotsPerArenaPage rankings
+// per page); a ranking row never straddles a page, so a slot view is one
+// contiguous byte range of one page.
+type Layout struct {
+	PageSize int
+	K        int
+	Slots    int
+}
+
+func (l Layout) validate() error {
+	switch {
+	case l.PageSize < minPageSize || l.PageSize > maxPageSize || l.PageSize%itemSize != 0:
+		return fmt.Errorf("%w: implausible page size %d", ErrCorrupt, l.PageSize)
+	case l.K < 0 || l.K > 255:
+		return fmt.Errorf("%w: implausible k=%d", ErrCorrupt, l.K)
+	case l.Slots < 0 || int64(l.Slots) > maxSlotCount:
+		return fmt.Errorf("%w: implausible slot count %d", ErrCorrupt, l.Slots)
+	}
+	return nil
+}
+
+// FlagPages is the number of liveness pages: one byte per slot.
+func (l Layout) FlagPages() int { return ceilDiv(l.Slots, l.PageSize) }
+
+// SlotsPerArenaPage is how many ranking rows fit one arena page; 0 when the
+// collection has no live rankings yet (k undefined).
+func (l Layout) SlotsPerArenaPage() int {
+	if l.K == 0 {
+		return 0
+	}
+	return l.PageSize / (l.K * itemSize)
+}
+
+// ArenaPages is the number of ranking pages.
+func (l Layout) ArenaPages() int {
+	spp := l.SlotsPerArenaPage()
+	if spp == 0 {
+		return 0
+	}
+	return ceilDiv(l.Slots, spp)
+}
+
+// Pages is the total logical page count (flag pages then arena pages).
+func (l Layout) Pages() int { return l.FlagPages() + l.ArenaPages() }
+
+// flagPage returns the logical page holding slot i's liveness byte.
+func (l Layout) flagPage(i int) int { return i / l.PageSize }
+
+// arenaPos returns the logical page and in-page byte offset of slot i's row.
+func (l Layout) arenaPos(i int) (page, off int) {
+	spp := l.SlotsPerArenaPage()
+	return l.FlagPages() + i/spp, (i % spp) * l.K * itemSize
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// materializePage renders logical page p over slots into buf (len PageSize).
+// Dead slots render as zero bytes — only the flag page says which arena
+// bytes are meaningful, so a reused arena page may keep a deleted ranking's
+// stale bytes without affecting the loaded collection.
+func (l Layout) materializePage(p int, slots []ranking.Ranking, buf []byte) {
+	clear(buf)
+	if p < l.FlagPages() {
+		lo := p * l.PageSize
+		hi := min(lo+l.PageSize, l.Slots)
+		for s := lo; s < hi; s++ {
+			if slots[s] != nil {
+				buf[s-lo] = 1
+			}
+		}
+		return
+	}
+	spp := l.SlotsPerArenaPage()
+	lo := (p - l.FlagPages()) * spp
+	hi := min(lo+spp, l.Slots)
+	stride := l.K * itemSize
+	for s := lo; s < hi; s++ {
+		r := slots[s]
+		if r == nil {
+			continue
+		}
+		off := (s - lo) * stride
+		for j, it := range r {
+			binary.LittleEndian.PutUint32(buf[off+j*itemSize:], it)
+		}
+	}
+}
+
+// collectionK derives the slot array's ranking size (first live slot; -1 →
+// 0 when all slots are tombstones) and rejects mixed sizes.
+func collectionK(slots []ranking.Ranking) (int, error) {
+	k := -1
+	for _, r := range slots {
+		if r != nil {
+			k = r.K()
+			break
+		}
+	}
+	if k < 0 {
+		k = 0
+	}
+	for id, r := range slots {
+		if r != nil && r.K() != k {
+			return 0, fmt.Errorf("persist: slot %d has size %d, want %d: %w",
+				id, r.K(), k, ranking.ErrSizeMismatch)
+		}
+	}
+	return k, nil
+}
+
+// WritePagedTo serializes the external-id slot view of a collection as a
+// single-file v3 snapshot (see the package comment for the layout) and
+// returns the bytes written. Semantics match WriteCollection: slots[id] is
+// the live ranking under id, nil a tombstone, and reloading preserves the
+// id assignment exactly.
+func WritePagedTo(w io.Writer, slots []ranking.Ranking) (int64, error) {
+	return writePaged(w, slots, DefaultPageSize)
+}
+
+func writePaged(w io.Writer, slots []ranking.Ranking, pageSize int) (int64, error) {
+	k, err := collectionK(slots)
+	if err != nil {
+		return 0, err
+	}
+	l := Layout{PageSize: pageSize, K: k, Slots: len(slots)}
+	if err := l.validate(); err != nil {
+		return 0, err
+	}
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	le := binary.LittleEndian
+	hdr := make([]byte, pagedHeaderSize)
+	le.PutUint32(hdr[0:], pagedMagic)
+	le.PutUint32(hdr[4:], versionV3)
+	le.PutUint32(hdr[8:], uint32(l.PageSize))
+	le.PutUint32(hdr[12:], uint32(l.K))
+	le.PutUint64(hdr[16:], uint64(l.Slots))
+	le.PutUint32(hdr[24:], uint32(l.Pages()))
+	le.PutUint32(hdr[28:], pagedHeaderSize)
+	le.PutUint32(hdr[32:], crc32.Checksum(hdr[:32], castagnoli))
+	if _, err := bw.Write(hdr); err != nil {
+		return cw.n, err
+	}
+	buf := make([]byte, l.PageSize)
+	table := make([]byte, 0, l.Pages()*4+pagedTrailerLen)
+	for p := 0; p < l.Pages(); p++ {
+		l.materializePage(p, slots, buf)
+		table = le.AppendUint32(table, crc32.Checksum(buf, castagnoli))
+		if _, err := bw.Write(buf); err != nil {
+			return cw.n, err
+		}
+	}
+	sum := crc32.Checksum(table, castagnoli)
+	table = le.AppendUint32(table, sum)
+	table = le.AppendUint32(table, uint32(l.Pages()*4))
+	table = le.AppendUint32(table, footerMagic)
+	if _, err := bw.Write(table); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// WritePagedFile writes a single-file v3 snapshot at path, fsynced.
+func WritePagedFile(path string, slots []ranking.Ranking) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := WritePagedTo(f, slots); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// PagedCollection is a loaded v3 snapshot: the slot array is views over the
+// snapshot's page region — a read-only mapping or a heap buffer — with no
+// per-ranking decode. Close unmaps; views must not be used afterwards.
+type PagedCollection struct {
+	layout  Layout
+	slots   []ranking.Ranking
+	mapped  bool
+	bytes   int
+	release func() error
+}
+
+// Slots is the external-id slot array (nil entries are tombstones).
+func (c *PagedCollection) Slots() []ranking.Ranking { return c.slots }
+
+// Layout is the snapshot's page geometry.
+func (c *PagedCollection) Layout() Layout { return c.layout }
+
+// Mapped reports whether the slots view an mmap (vs a heap buffer).
+func (c *PagedCollection) Mapped() bool { return c.mapped }
+
+// MappedBytes is the size of the mapping backing the slots; 0 when the
+// collection was loaded by full read.
+func (c *PagedCollection) MappedBytes() int {
+	if c.mapped {
+		return c.bytes
+	}
+	return 0
+}
+
+// Close releases the mapping (no-op for full-read collections). The slot
+// views — and anything built over them — must not be touched afterwards.
+func (c *PagedCollection) Close() error {
+	if c.release != nil {
+		r := c.release
+		c.release = nil
+		return r()
+	}
+	return nil
+}
+
+// LiveStore packs the live slots into a borrowed kernel.Store — views over
+// the snapshot memory, nothing copied — plus the external id of each dense
+// store slot, the same dense remap an epoch build performs.
+func (c *PagedCollection) LiveStore() (*kernel.Store, []ranking.ID) {
+	views := make([]ranking.Ranking, 0, len(c.slots))
+	ids := make([]ranking.ID, 0, len(c.slots))
+	for id, r := range c.slots {
+		if r != nil {
+			views = append(views, r)
+			ids = append(ids, ranking.ID(id))
+		}
+	}
+	return kernel.NewStoreFromViews(c.layout.K, views), ids
+}
+
+// viewRanking reinterprets b as a k-item ranking without copying when the
+// host is little-endian and b is 4-byte aligned (always true for page
+// regions of a mapping or a heap buffer); otherwise it decodes a heap copy.
+func viewRanking(b []byte, k int) ranking.Ranking {
+	if hostLittle && uintptr(unsafe.Pointer(&b[0]))%itemSize == 0 {
+		return ranking.Ranking(unsafe.Slice((*ranking.Item)(unsafe.Pointer(&b[0])), k))
+	}
+	r := make(ranking.Ranking, k)
+	for j := range r {
+		r[j] = binary.LittleEndian.Uint32(b[j*itemSize:])
+	}
+	return r
+}
+
+// buildPagedSlots cuts the slot array out of the page region: flag pages
+// say which slots are live, and each live slot becomes a view into its
+// arena page. pageAt resolves a logical page to its bytes (identity offsets
+// for single-file snapshots, through the page map for incremental
+// checkpoints).
+func buildPagedSlots(l Layout, pageAt func(p int) []byte) ([]ranking.Ranking, error) {
+	slots := make([]ranking.Ranking, l.Slots)
+	stride := l.K * itemSize
+	for fp := 0; fp < l.FlagPages(); fp++ {
+		pg := pageAt(fp)
+		lo := fp * l.PageSize
+		hi := min(lo+l.PageSize, l.Slots)
+		for s := lo; s < hi; s++ {
+			switch pg[s-lo] {
+			case 0:
+			case 1:
+				if l.K == 0 {
+					return nil, fmt.Errorf("%w: live slot %d in a k=0 snapshot", ErrCorrupt, s)
+				}
+				ap, off := l.arenaPos(s)
+				slots[s] = viewRanking(pageAt(ap)[off:off+stride], l.K)
+			default:
+				return nil, fmt.Errorf("%w: slot %d has flag %d", ErrCorrupt, s, pg[s-lo])
+			}
+		}
+	}
+	return slots, nil
+}
+
+// parsePagedHeader validates the fixed header of a single-file snapshot
+// against the actual byte count and returns the geometry. Nothing sized by
+// a header field is allocated before this passes.
+func parsePagedHeader(data []byte) (Layout, error) {
+	if len(data) < pagedHeaderSize+pagedTrailerLen {
+		return Layout{}, fmt.Errorf("%w: %d bytes is shorter than a v3 header", ErrCorrupt, len(data))
+	}
+	le := binary.LittleEndian
+	if le.Uint32(data[0:]) != pagedMagic {
+		return Layout{}, fmt.Errorf("%w: wrong magic", ErrBadFormat)
+	}
+	if v := le.Uint32(data[4:]); v != versionV3 {
+		return Layout{}, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	if crc32.Checksum(data[:32], castagnoli) != le.Uint32(data[32:]) {
+		return Layout{}, fmt.Errorf("%w: header checksum mismatch", ErrCorrupt)
+	}
+	l := Layout{PageSize: int(le.Uint32(data[8:])), K: int(le.Uint32(data[12:]))}
+	slots := le.Uint64(data[16:])
+	pages := le.Uint32(data[24:])
+	if hs := le.Uint32(data[28:]); hs != pagedHeaderSize {
+		return Layout{}, fmt.Errorf("%w: header size %d", ErrCorrupt, hs)
+	}
+	if slots > maxSlotCount {
+		return Layout{}, fmt.Errorf("%w: implausible slot count %d", ErrCorrupt, slots)
+	}
+	l.Slots = int(slots)
+	if err := l.validate(); err != nil {
+		return Layout{}, err
+	}
+	if int(pages) != l.Pages() {
+		return Layout{}, fmt.Errorf("%w: header says %d pages, geometry needs %d", ErrCorrupt, pages, l.Pages())
+	}
+	want := int64(pagedHeaderSize) + int64(l.Pages())*int64(l.PageSize) + int64(l.Pages())*4 + pagedTrailerLen
+	if int64(len(data)) != want {
+		return Layout{}, fmt.Errorf("%w: file is %d bytes, geometry needs %d", ErrCorrupt, len(data), want)
+	}
+	return l, nil
+}
+
+// checkPagedFooter validates the trailer and the CRC table's own checksum,
+// returning the table bytes.
+func checkPagedFooter(data []byte, l Layout) ([]byte, error) {
+	le := binary.LittleEndian
+	tr := data[len(data)-pagedTrailerLen:]
+	if le.Uint32(tr[8:]) != footerMagic {
+		return nil, fmt.Errorf("%w: bad footer magic", ErrCorrupt)
+	}
+	if int(le.Uint32(tr[4:])) != l.Pages()*4 {
+		return nil, fmt.Errorf("%w: footer table length mismatch", ErrCorrupt)
+	}
+	table := data[len(data)-pagedTrailerLen-l.Pages()*4 : len(data)-pagedTrailerLen]
+	if crc32.Checksum(table, castagnoli) != le.Uint32(tr[0:]) {
+		return nil, fmt.Errorf("%w: footer checksum mismatch", ErrCorrupt)
+	}
+	return table, nil
+}
+
+// openPagedBytes builds a PagedCollection over a complete single-file
+// snapshot image. Flag pages are checksum-verified in every mode (they gate
+// which bytes mean anything); arena pages only when verifyPages — the point
+// of the mmap path is NOT touching O(collection) bytes at load, so it
+// trusts write-time checksums for pages it never faults in.
+func openPagedBytes(data []byte, mapped, verifyPages bool, release func() error) (*PagedCollection, error) {
+	l, err := parsePagedHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	table, err := checkPagedFooter(data, l)
+	if err != nil {
+		return nil, err
+	}
+	pageAt := func(p int) []byte {
+		off := pagedHeaderSize + p*l.PageSize
+		return data[off : off+l.PageSize]
+	}
+	last := l.FlagPages()
+	if verifyPages {
+		last = l.Pages()
+	}
+	le := binary.LittleEndian
+	for p := 0; p < last; p++ {
+		if crc32.Checksum(pageAt(p), castagnoli) != le.Uint32(table[p*4:]) {
+			return nil, fmt.Errorf("%w: page %d checksum mismatch", ErrCorrupt, p)
+		}
+	}
+	slots, err := buildPagedSlots(l, pageAt)
+	if err != nil {
+		return nil, err
+	}
+	return &PagedCollection{layout: l, slots: slots, mapped: mapped, bytes: len(data), release: release}, nil
+}
+
+// ReadPagedAll parses a complete single-file v3 snapshot from memory with
+// every page checksum verified (the fuzz target's entry point).
+func ReadPagedAll(data []byte) (*PagedCollection, error) {
+	return openPagedBytes(data, false, true, nil)
+}
+
+// OpenPagedFile loads a single-file v3 snapshot. With useMmap the file is
+// mapped read-only and the slot views alias the mapping — close the
+// collection only when nothing references them anymore. Without (or when
+// the platform cannot map), the whole file is read into memory and every
+// page checksum verified.
+func OpenPagedFile(path string, useMmap bool) (*PagedCollection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if useMmap {
+		fi, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		if data, unmap, merr := mmapFile(f, int(fi.Size())); merr == nil {
+			pc, perr := openPagedBytes(data, true, false, unmap)
+			if perr != nil {
+				unmap()
+				return nil, perr
+			}
+			return pc, nil
+		}
+	}
+	data, err := io.ReadAll(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	return openPagedBytes(data, false, true, nil)
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 
 	"topk/internal/bktree"
 	"topk/internal/invindex"
@@ -175,8 +176,15 @@ func readRankingsBody(br *bufio.Reader) ([]ranking.Ranking, error) {
 		return nil, err
 	}
 	// Grow incrementally instead of trusting n: a corrupted header must not
-	// provoke a huge up-front allocation.
-	rs := make([]ranking.Ranking, 0, boundedCap(n))
+	// provoke a huge up-front allocation (stream readers cannot check n
+	// against a file size; ReadCollectionFile can, and does).
+	return readDenseBody(br, n, k, boundedCap(n))
+}
+
+// readDenseBody decodes n dense k-item rankings (the v1 payload after its
+// n,k prefix). capHint bounds the up-front allocation.
+func readDenseBody(br *bufio.Reader, n, k uint32, capHint int) ([]ranking.Ranking, error) {
+	rs := make([]ranking.Ranking, 0, capHint)
 	for i := uint32(0); i < n; i++ {
 		rr, err := readRanking(br, k, int(i))
 		if err != nil {
@@ -185,6 +193,31 @@ func readRankingsBody(br *bufio.Reader) ([]ranking.Ranking, error) {
 		rs = append(rs, rr)
 	}
 	return rs, nil
+}
+
+// readSlotsBody decodes n flagged slots (the v2 payload after its n,k
+// prefix): flag byte 0 is a tombstone, 1 a live k-item ranking.
+func readSlotsBody(br *bufio.Reader, n, k uint32, capHint int) ([]ranking.Ranking, error) {
+	slots := make([]ranking.Ranking, 0, capHint)
+	for i := uint32(0); i < n; i++ {
+		flag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated slot %d: %v", ErrBadFormat, i, err)
+		}
+		switch flag {
+		case 0:
+			slots = append(slots, nil)
+		case 1:
+			rr, err := readRanking(br, k, int(i))
+			if err != nil {
+				return nil, err
+			}
+			slots = append(slots, rr)
+		default:
+			return nil, fmt.Errorf("%w: slot %d has flag %d", ErrBadFormat, i, flag)
+		}
+	}
+	return slots, nil
 }
 
 // boundedCap limits speculative slice preallocation for length fields read
@@ -270,42 +303,96 @@ func WriteCollection(w io.Writer, slots []ranking.Ranking) (int64, error) {
 	return cw.n, nil
 }
 
-// ReadCollection deserializes a ranking-collection snapshot of either
+// ReadCollection deserializes a ranking-collection snapshot of any
 // version: a dense v1 collection (WriteRankings) loads as an all-live slot
-// array, a v2 snapshot (WriteCollection) restores tombstones as nil slots.
+// array, a v2 snapshot (WriteCollection) restores tombstones as nil slots,
+// and a paged v3 snapshot (WritePagedTo) is read whole with every page
+// checksum verified. When the source is a seekable file, prefer
+// ReadCollectionFile (header bounds checked against the file size) or
+// OpenPagedFile (mmap, no read at all).
 func ReadCollection(r io.Reader) ([]ranking.Ranking, error) {
 	br := bufio.NewReader(r)
+	if b, err := br.Peek(4); err == nil && binary.LittleEndian.Uint32(b) == pagedMagic {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, err
+		}
+		pc, err := ReadPagedAll(data)
+		if err != nil {
+			return nil, err
+		}
+		return pc.Slots(), nil
+	}
 	v, err := readVersionedHeader(br, magicRankings)
 	if err != nil {
 		return nil, err
-	}
-	if v == version {
-		return readRankingsBody(br)
 	}
 	n, k, err := readCollectionPrefix(br)
 	if err != nil {
 		return nil, err
 	}
-	slots := make([]ranking.Ranking, 0, boundedCap(n))
-	for i := uint32(0); i < n; i++ {
-		flag, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("%w: truncated slot %d: %v", ErrBadFormat, i, err)
-		}
-		switch flag {
-		case 0:
-			slots = append(slots, nil)
-		case 1:
-			rr, err := readRanking(br, k, int(i))
-			if err != nil {
-				return nil, err
-			}
-			slots = append(slots, rr)
-		default:
-			return nil, fmt.Errorf("%w: slot %d has flag %d", ErrBadFormat, i, flag)
-		}
+	if v == version {
+		return readDenseBody(br, n, k, boundedCap(n))
 	}
-	return slots, nil
+	return readSlotsBody(br, n, k, boundedCap(n))
+}
+
+// collectionHeaderLen is the v1/v2 fixed prefix: magic, version, n, k.
+const collectionHeaderLen = 16
+
+// ReadCollectionFile loads a snapshot of any version from path. Unlike the
+// stream reader it knows the file size, so v1/v2 header counts are
+// validated against the actual bytes BEFORE any allocation: a truncated
+// file or a bit-flipped count fails with ErrCorrupt instead of decoding
+// garbage or allocating for a collection the file cannot possibly hold.
+// (The v3 reader performs the same validation from its own header.)
+func ReadCollectionFile(path string) ([]ranking.Ranking, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	br := bufio.NewReaderSize(f, 1<<20)
+	if b, err := br.Peek(4); err == nil && binary.LittleEndian.Uint32(b) == pagedMagic {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, err
+		}
+		pc, err := ReadPagedAll(data)
+		if err != nil {
+			return nil, err
+		}
+		return pc.Slots(), nil
+	}
+	v, err := readVersionedHeader(br, magicRankings)
+	if err != nil {
+		return nil, err
+	}
+	n, k, err := readCollectionPrefix(br)
+	if err != nil {
+		return nil, err
+	}
+	if v == version {
+		if want := collectionHeaderLen + int64(n)*int64(k)*4; size != want {
+			return nil, fmt.Errorf("%w: v1 header declares %d rankings of size %d (%d bytes), file has %d",
+				ErrCorrupt, n, k, want, size)
+		}
+		return readDenseBody(br, n, k, int(n))
+	}
+	// v2 slots vary per flag byte: n bytes when everything is a tombstone,
+	// n×(1+4k) when everything is live.
+	lo := collectionHeaderLen + int64(n)
+	hi := collectionHeaderLen + int64(n)*(1+4*int64(k))
+	if size < lo || size > hi {
+		return nil, fmt.Errorf("%w: v2 header declares %d slots of size %d, impossible for a %d-byte file",
+			ErrCorrupt, n, k, size)
+	}
+	return readSlotsBody(br, n, k, int(n))
 }
 
 // WriteBKTree serializes the exact tree structure (preorder: node id, child

@@ -1,0 +1,150 @@
+package persist
+
+import "sync"
+
+// Dirty bits of one slot, relative to the last captured checkpoint.
+const (
+	// DirtyFlag: the slot's liveness byte changed (insert, delete).
+	DirtyFlag = uint8(1) << 0
+	// DirtyArena: the slot's ranking bytes changed (insert, update). A
+	// delete leaves the arena bytes stale on purpose — the flag page says
+	// they are meaningless, so the arena page can be reused unchanged.
+	DirtyArena = uint8(1) << 1
+)
+
+// DirtySet is a captured batch of slot-level dirt. All marks every page
+// dirty regardless of Slots — the safe answer whenever provenance is
+// uncertain.
+type DirtySet struct {
+	All   bool
+	Slots map[int]uint8
+}
+
+// Pages resolves the set to logical pages of l.
+func (d *DirtySet) Pages(l Layout) map[int]bool {
+	m := make(map[int]bool)
+	if d == nil {
+		return m
+	}
+	if d.All {
+		for p := 0; p < l.Pages(); p++ {
+			m[p] = true
+		}
+		return m
+	}
+	for s, bits := range d.Slots {
+		if s < 0 || s >= l.Slots {
+			continue
+		}
+		if bits&DirtyFlag != 0 {
+			m[l.flagPage(s)] = true
+		}
+		if bits&DirtyArena != 0 && l.K > 0 {
+			p, _ := l.arenaPos(s)
+			m[p] = true
+		}
+	}
+	return m
+}
+
+// SlotTracker accumulates the slots a collection dirtied since the last
+// checkpoint capture. The serving path marks under its own mutation lock,
+// but stats readers poll concurrently, so every method locks.
+type SlotTracker struct {
+	mu    sync.Mutex
+	all   bool
+	slots map[int]uint8
+}
+
+// NewSlotTracker returns an empty tracker: nothing dirty. Callers that
+// cannot account for the current state's provenance (no previous v3
+// checkpoint) must not rely on it — the pager independently falls back to a
+// full rewrite when it has no previous footer.
+func NewSlotTracker() *SlotTracker {
+	return &SlotTracker{slots: make(map[int]uint8)}
+}
+
+// MarkAll poisons the tracker: the next capture rewrites every page.
+func (t *SlotTracker) MarkAll() {
+	t.mu.Lock()
+	t.all = true
+	t.mu.Unlock()
+}
+
+func (t *SlotTracker) mark(slot int, bits uint8) {
+	if slot < 0 {
+		return
+	}
+	t.mu.Lock()
+	t.slots[slot] |= bits
+	t.mu.Unlock()
+}
+
+// MarkInsert records a new live ranking in slot (flag and arena change).
+func (t *SlotTracker) MarkInsert(slot int) { t.mark(slot, DirtyFlag|DirtyArena) }
+
+// MarkDelete records a tombstoning (only the flag byte changes).
+func (t *SlotTracker) MarkDelete(slot int) { t.mark(slot, DirtyFlag) }
+
+// MarkUpdate records an in-place replacement (only the arena row changes).
+func (t *SlotTracker) MarkUpdate(slot int) { t.mark(slot, DirtyArena) }
+
+// Capture returns the accumulated dirt and resets the tracker. The caller
+// owns the returned set; if the checkpoint it feeds fails, MergeBack must
+// restore it or the dirt is lost to the next incremental checkpoint.
+func (t *SlotTracker) Capture() *DirtySet {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := &DirtySet{All: t.all, Slots: t.slots}
+	t.all = false
+	t.slots = make(map[int]uint8)
+	return d
+}
+
+// MergeBack unions a captured set back in after a failed checkpoint.
+func (t *SlotTracker) MergeBack(d *DirtySet) {
+	if d == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.all = t.all || d.All
+	for s, bits := range d.Slots {
+		t.slots[s] |= bits
+	}
+}
+
+// DirtySlots reports how many slots are currently marked (0 with all set is
+// still "everything": check DirtyPages for the page-level answer).
+func (t *SlotTracker) DirtySlots() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.slots)
+}
+
+// MaxSlot reports the highest slot currently marked, -1 when none are.
+func (t *SlotTracker) MaxSlot() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := -1
+	for s := range t.slots {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// DirtyPages reports how many logical pages of layout l the next
+// incremental checkpoint would rewrite from the dirt tracked so far.
+func (t *SlotTracker) DirtyPages(l Layout) int {
+	t.mu.Lock()
+	if t.all {
+		t.mu.Unlock()
+		return l.Pages()
+	}
+	d := &DirtySet{Slots: t.slots}
+	n := len(d.Pages(l))
+	t.mu.Unlock()
+	return n
+}

@@ -10,6 +10,7 @@ import (
 
 	"topk"
 	"topk/internal/admit"
+	"topk/internal/persist"
 	"topk/internal/ranking"
 	"topk/internal/shard"
 	"topk/internal/wal"
@@ -161,6 +162,22 @@ type Collection struct {
 	// cannot replay. Overridable in tests.
 	walFatal func(err error)
 
+	// Paged snapshot v3 state, non-nil exactly when the collection is
+	// durable (wal != nil): tracker records which slots changed since the
+	// last checkpoint capture (marked under walMu, alongside the log append),
+	// pager writes incremental checkpoints over the directory's shared page
+	// file. paged retains the mmapped base checkpoint when startup loaded one
+	// — the index views may alias the mapping, so it is never unmapped.
+	tracker *persist.SlotTracker
+	pager   *persist.Pager
+	paged   *persist.PagedCollection
+
+	// Cumulative incremental-checkpoint economy since process start.
+	ckptPagesWritten atomic.Uint64
+	ckptPagesReused  atomic.Uint64
+	ckptBytesWritten atomic.Uint64
+	ckptBytesReused  atomic.Uint64
+
 	// refMu implements the drop drain: every data request holds it shared
 	// for its whole duration, drop takes it exclusively — which waits for
 	// all in-flight requests — and flips closed, after which lookups that
@@ -188,7 +205,36 @@ func newCollection(name, cacheScope string, opts CollectionOptions, sh *shard.Sh
 	if opts.Weight > 0 && opts.Weight < 1 {
 		c.admission = admit.NewWeighted(global, opts.Weight, maxWait)
 	}
+	if wlog != nil {
+		// Conservative default: everything dirty, no previous v3 footer, so
+		// the first checkpoint writes every page. Bootstrap paths that loaded
+		// a v3 base replace this with the accurate state via attachStorage.
+		tr := persist.NewSlotTracker()
+		tr.MarkAll()
+		c.tracker = tr
+		c.pager = persist.NewPager(wlog.Dir(), nil, nil)
+	}
 	return c
+}
+
+// attachStorage replaces the conservative default storage state with what
+// bootstrap actually established: tr holds exactly the slots the WAL replay
+// dirtied relative to base (or everything, when the base predates v3), and
+// base carries the footer — and, when mmapped, the retained page mapping —
+// of a v3 base checkpoint. Must run before the collection is published.
+func (c *Collection) attachStorage(tr *persist.SlotTracker, base *pagedBase) {
+	c.tracker = tr
+	var prev, pinned *persist.Footer
+	if base != nil {
+		c.paged = base.pc
+		prev = base.footer
+		if base.pc != nil && base.pc.Mapped() {
+			// Live index views may alias these physical pages forever: the
+			// pager must never hand them out to a later checkpoint.
+			pinned = base.footer
+		}
+	}
+	c.pager = persist.NewPager(c.wal.Dir(), prev, pinned)
 }
 
 // ref pins the collection for one request; false means the collection was
@@ -254,6 +300,7 @@ func (c *Collection) applyInsert(r ranking.Ranking) (ranking.ID, error) {
 	if err != nil {
 		return 0, err
 	}
+	c.tracker.MarkInsert(int(id))
 	if err := c.wal.Append(wal.Record{Op: wal.OpInsert, ID: id, Ranking: r}); err != nil {
 		c.walFatal(err)
 		return 0, err
@@ -271,6 +318,7 @@ func (c *Collection) applyDelete(id ranking.ID) error {
 	if err := c.sh.Delete(id); err != nil {
 		return err
 	}
+	c.tracker.MarkDelete(int(id))
 	if err := c.wal.Append(wal.Record{Op: wal.OpDelete, ID: id}); err != nil {
 		c.walFatal(err)
 		return err
@@ -288,11 +336,84 @@ func (c *Collection) applyUpdate(id ranking.ID, r ranking.Ranking) error {
 	if err := c.sh.Update(id, r); err != nil {
 		return err
 	}
+	c.tracker.MarkUpdate(int(id))
 	if err := c.wal.Append(wal.Record{Op: wal.OpUpdate, ID: id, Ranking: r}); err != nil {
 		c.walFatal(err)
 		return err
 	}
 	return nil
+}
+
+// storageStatsJSON is the paged-storage (snapshot v3) section of /stats and
+// GET /collections/{name}; absent for in-memory collections.
+type storageStatsJSON struct {
+	// MappedBytes is the size of the mmapped v3 base checkpoint the
+	// collection was loaded from (0 when the base was decoded to the heap).
+	MappedBytes int `json:"mappedBytes"`
+	// SpillBytes sums the mmapped epoch arenas of the hybrid shards (0
+	// without -spill-epochs).
+	SpillBytes int `json:"spillBytes,omitempty"`
+	// DirtySlots and DirtyPages describe the work the next incremental
+	// checkpoint will do: slots mutated since the last checkpoint capture
+	// and the v3 pages they force a rewrite of.
+	DirtySlots int `json:"dirtySlots"`
+	DirtyPages int `json:"dirtyPages"`
+	// Checkpoint page economy since process start: pages/bytes physically
+	// written versus carried over unchanged from the previous checkpoint.
+	CheckpointPagesWritten uint64 `json:"checkpointPagesWritten"`
+	CheckpointPagesReused  uint64 `json:"checkpointPagesReused"`
+	CheckpointBytesWritten uint64 `json:"checkpointBytesWritten"`
+	CheckpointBytesReused  uint64 `json:"checkpointBytesReused"`
+}
+
+// storageStats snapshots the paged-storage state; nil for in-memory
+// collections.
+func (c *Collection) storageStats() *storageStatsJSON {
+	if c.tracker == nil {
+		return nil
+	}
+	st := &storageStatsJSON{
+		MappedBytes:            0,
+		SpillBytes:             aggregateSpillBytes(c.sh),
+		DirtySlots:             c.tracker.DirtySlots(),
+		CheckpointPagesWritten: c.ckptPagesWritten.Load(),
+		CheckpointPagesReused:  c.ckptPagesReused.Load(),
+		CheckpointBytesWritten: c.ckptBytesWritten.Load(),
+		CheckpointBytesReused:  c.ckptBytesReused.Load(),
+	}
+	if c.paged != nil {
+		st.MappedBytes = c.paged.MappedBytes()
+	}
+	// Page-level dirt needs the geometry the next checkpoint will use: the
+	// previous footer's slot space, extended to cover the newest marks.
+	slots, k := 0, c.effK()
+	if prev := c.pager.Prev(); prev != nil {
+		slots, k = prev.Layout.Slots, prev.Layout.K
+	}
+	if m := c.tracker.MaxSlot(); m+1 > slots {
+		slots = m + 1
+	}
+	if k > 0 && slots > 0 {
+		st.DirtyPages = c.tracker.DirtyPages(persist.Layout{PageSize: persist.DefaultPageSize, K: k, Slots: slots})
+	}
+	return st
+}
+
+// spillStatser is implemented by hybrid sub-indices built with epoch
+// spilling available.
+type spillStatser interface{ SpillBytes() int }
+
+// aggregateSpillBytes sums the mmapped epoch arenas across shards; 0 when
+// the index kind does not spill.
+func aggregateSpillBytes(sh *shard.Sharded) int {
+	total := 0
+	for i := 0; i < sh.NumShards(); i++ {
+		sub, _ := sh.Shard(i)
+		if ss, ok := sub.(spillStatser); ok {
+			total += ss.SpillBytes()
+		}
+	}
+	return total
 }
 
 // toJSON renders results with the collection's normalized distance.

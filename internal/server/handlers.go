@@ -367,21 +367,29 @@ type checkpointResponse struct {
 	// Seq is the log sequence the checkpoint is consistent at: it reflects
 	// every mutation acked before it and none after.
 	Seq uint64 `json:"seq"`
-	// Bytes is the size of the streamed snapshot.
+	// Bytes is what the checkpoint physically wrote: dirty pages plus the
+	// footer, not the collection size.
 	Bytes int64 `json:"bytes"`
 	// Slots and Live describe the captured collection (id-space size and
 	// non-tombstoned count).
 	Slots int `json:"slots"`
 	Live  int `json:"live"`
+	// Page economy of the incremental write: pages/bytes rewritten versus
+	// carried over unchanged from the previous checkpoint.
+	PagesWritten int   `json:"pagesWritten"`
+	PagesReused  int   `json:"pagesReused"`
+	BytesReused  int64 `json:"bytesReused"`
 }
 
 // handleCheckpoint makes the collection state durable and truncates its WAL:
 // under the mutation lock it rotates the log and captures the consistent
-// slot view (an exact cut — see Sharded.Slots), then streams the v2 snapshot
-// to the WAL directory off-lock, atomically installs it as
-// checkpoint-<seq>.bin and deletes the segments it supersedes. Mutations
-// arriving during the streaming land in the post-rotation segment, which
-// recovery replays on top of the checkpoint.
+// slot view (an exact cut — see Sharded.Slots) together with the slots
+// dirtied since the previous capture, then writes an incremental paged (v3)
+// checkpoint off-lock — only the dirty pages hit the disk, clean pages are
+// carried over from the previous footer — atomically installs its footer as
+// checkpoint-<seq>.v3f and deletes the segments and checkpoints it
+// supersedes. Mutations arriving during the write land in the post-rotation
+// segment, which recovery replays on top of the checkpoint.
 func (s *Server) handleCheckpoint(c *Collection, w http.ResponseWriter, r *http.Request) {
 	if c.wal == nil {
 		httpError(w, http.StatusBadRequest, "collection has no write-ahead log: nothing to checkpoint")
@@ -397,27 +405,42 @@ func (s *Server) handleCheckpoint(c *Collection, w http.ResponseWriter, r *http.
 		return
 	}
 	slots, ok := c.sh.Slots()
+	var dirty *persist.DirtySet
+	if ok {
+		// Same instant as the slot cut: dirt accumulated after this capture
+		// belongs to the next checkpoint.
+		dirty = c.tracker.Capture()
+	}
 	c.walMu.Unlock()
 	if !ok {
 		httpError(w, http.StatusBadRequest, "index kind %q exposes no snapshot view", c.opts.Kind)
 		return
 	}
-	var bytes int64
-	if err := c.wal.Checkpoint(seq, func(f *os.File) error {
-		n, werr := persist.WriteCollection(f, slots)
-		bytes = n
+	var stats persist.CheckpointStats
+	if err := c.wal.CheckpointPaged(seq, func(string) error {
+		var werr error
+		stats, werr = c.pager.WriteCheckpoint(seq, slots, dirty)
 		return werr
 	}); err != nil {
+		// The dirt is not on disk: put it back for the next attempt.
+		c.tracker.MergeBack(dirty)
 		httpError(w, http.StatusInternalServerError, "checkpoint: %v", err)
 		return
 	}
+	c.ckptPagesWritten.Add(uint64(stats.PagesWritten))
+	c.ckptPagesReused.Add(uint64(stats.PagesReused))
+	c.ckptBytesWritten.Add(uint64(stats.BytesWritten))
+	c.ckptBytesReused.Add(uint64(stats.BytesReused))
 	live := 0
 	for _, r := range slots {
 		if r != nil {
 			live++
 		}
 	}
-	writeJSON(w, http.StatusOK, checkpointResponse{Seq: seq, Bytes: bytes, Slots: len(slots), Live: live})
+	writeJSON(w, http.StatusOK, checkpointResponse{
+		Seq: seq, Bytes: stats.BytesWritten, Slots: len(slots), Live: live,
+		PagesWritten: stats.PagesWritten, PagesReused: stats.PagesReused, BytesReused: stats.BytesReused,
+	})
 }
 
 // searchRequest is the /search payload: exactly one of Query or Queries,
@@ -850,6 +873,10 @@ type statsResponse struct {
 	Shards  []shard.ShardStats `json:"shards"`
 	// WAL reports the durability counters when the collection has a log.
 	WAL *walStatsJSON `json:"wal,omitempty"`
+	// Storage reports the paged (snapshot v3) storage state of a durable
+	// collection: base-mapping size, dirt awaiting the next incremental
+	// checkpoint, checkpoint page economy.
+	Storage *storageStatsJSON `json:"storage,omitempty"`
 	// Admission reports the shared load-shedding semaphore (absent when
 	// admission control is disabled with -max-concurrency < 0); Cache the
 	// shared query-result cache (absent without -cache-entries).
@@ -950,6 +977,7 @@ func (s *Server) handleStats(c *Collection, w http.ResponseWriter, r *http.Reque
 		Planner:       aggregatePlanStats(c.sh),
 		Shards:        shards,
 		WAL:           ws,
+		Storage:       c.storageStats(),
 		Admission:     adm,
 		Cache:         cst,
 	})

@@ -33,7 +33,7 @@ func TestHybridServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := shard.New(rs, 3, builderFor("hybrid", 0.3, "", 8, 0))
+	sh, err := shard.New(rs, 3, builderFor("hybrid", 0.3, "", 8, 0, ""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestHybridServe(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("snapshot status %d", rec.Code)
 	}
-	forced, err := shard.New(rs, 2, builderFor("hybrid", 0.3, "coarse", 0, 0))
+	forced, err := shard.New(rs, 2, builderFor("hybrid", 0.3, "coarse", 0, 0, ""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +247,7 @@ func TestBatchModes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := shard.New(rs, 3, builderFor("inverted-drop", 0.3, "", 0, 0))
+	sh, err := shard.New(rs, 3, builderFor("inverted-drop", 0.3, "", 0, 0, ""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +348,7 @@ func TestHybridServeMutationDifferential(t *testing.T) {
 	rng := rand.New(rand.NewSource(67))
 	rs := difftest.RandomCollection(rng, 240, 8, 150)
 	o := difftest.NewOracle(rs)
-	sh, err := shard.New(rs, 3, builderFor("hybrid", 0.3, "", 0, 0.05))
+	sh, err := shard.New(rs, 3, builderFor("hybrid", 0.3, "", 0, 0.05, ""))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,7 +29,7 @@ func testServer(t *testing.T) (*Server, []ranking.Ranking, []ranking.Ranking) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := shard.New(rs, 4, builderFor("coarse", 0.3, "", 0, 0))
+	sh, err := shard.New(rs, 4, builderFor("coarse", 0.3, "", 0, 0, ""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +303,7 @@ func TestMutationRejectedOnImmutableKind(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, kind := range []string{"blocked", "bktree"} {
-		sh, err := shard.New(rs, 2, builderFor(kind, 0.3, "", 0, 0))
+		sh, err := shard.New(rs, 2, builderFor(kind, 0.3, "", 0, 0, ""))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -392,7 +392,7 @@ func TestSnapshotEndpointRoundTrip(t *testing.T) {
 		t.Fatalf("snapshot slots wrong: len=%d slot42=%v", len(slots), slots[42])
 	}
 
-	sh2, err := shard.New(slots, 2, builderFor("coarse", 0.3, "", 0, 0))
+	sh2, err := shard.New(slots, 2, builderFor("coarse", 0.3, "", 0, 0, ""))
 	if err != nil {
 		t.Fatalf("reload: %v", err)
 	}
@@ -444,7 +444,7 @@ func TestLoadCollectionSnapshotV2(t *testing.T) {
 	if !reflect.DeepEqual(got, slots) {
 		t.Fatal("v2 snapshot round-trip diverges")
 	}
-	sh, err := shard.New(got, 3, builderFor("inverted-drop", 0.3, "", 0, 0))
+	sh, err := shard.New(got, 3, builderFor("inverted-drop", 0.3, "", 0, 0, ""))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -235,6 +235,31 @@ func (s *Server) collectCollection(w *telemetry.Writer, c *Collection) {
 			"Duration of WAL fsync calls.", labels, st.FsyncLatency)
 	}
 
+	if st := c.storageStats(); st != nil {
+		w.Gauge("topkserve_storage_mapped_bytes",
+			"Bytes of the mmapped paged (v3) base checkpoint backing the collection; 0 when the base was decoded to the heap.",
+			labels, float64(st.MappedBytes))
+		w.Gauge("topkserve_storage_spill_bytes",
+			"Bytes of mmapped epoch-spill arenas across the collection's hybrid shards (-spill-epochs).",
+			labels, float64(st.SpillBytes))
+		w.Gauge("topkserve_storage_dirty_slots",
+			"Slots mutated since the last checkpoint capture.",
+			labels, float64(st.DirtySlots))
+		w.Gauge("topkserve_storage_dirty_pages",
+			"Paged-snapshot pages the next incremental checkpoint must rewrite.",
+			labels, float64(st.DirtyPages))
+		w.Counter("topkserve_storage_checkpoint_pages_total",
+			"Checkpoint pages, by whether they were physically written or carried over from the previous checkpoint.",
+			telemetry.Labels("collection", col, "result", "written"), float64(st.CheckpointPagesWritten))
+		w.Counter("topkserve_storage_checkpoint_pages_total", "",
+			telemetry.Labels("collection", col, "result", "reused"), float64(st.CheckpointPagesReused))
+		w.Counter("topkserve_storage_checkpoint_bytes_total",
+			"Checkpoint bytes, by whether they were physically written or carried over from the previous checkpoint.",
+			telemetry.Labels("collection", col, "result", "written"), float64(st.CheckpointBytesWritten))
+		w.Counter("topkserve_storage_checkpoint_bytes_total", "",
+			telemetry.Labels("collection", col, "result", "reused"), float64(st.CheckpointBytesReused))
+	}
+
 	if c.admission != nil {
 		st := c.admission.Stats()
 		w.Counter("topkserve_collection_admission_admitted_total",

@@ -475,7 +475,7 @@ func TestMetricsHybridPlanner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := shard.New(rs, 2, builderFor("hybrid", 0.3, "", 0, 0))
+	sh, err := shard.New(rs, 2, builderFor("hybrid", 0.3, "", 0, 0, ""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -550,7 +550,7 @@ func TestReadyz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := shard.New(rs, 2, builderFor("coarse", 0.3, "", 0, 0))
+	sh, err := shard.New(rs, 2, builderFor("coarse", 0.3, "", 0, 0, ""))
 	if err != nil {
 		t.Fatal(err)
 	}

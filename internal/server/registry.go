@@ -34,21 +34,24 @@ func (s *Server) createCollection(name string, opts CollectionOptions) (*Collect
 	if _, ok := s.collections[name]; ok {
 		return nil, errCollectionExists
 	}
-	build := builderFor(opts.Kind, opts.MaxTheta, opts.ForceBackend, opts.Calibrate, opts.DeltaRatio)
+	walDir := ""
+	if s.walRoot != "" {
+		walDir = filepath.Join(s.walRoot, name)
+	}
+	build := builderFor(opts.Kind, opts.MaxTheta, opts.ForceBackend, opts.Calibrate, opts.DeltaRatio, s.spillDirFor(walDir))
 	sh, err := shard.NewEmpty(opts.Shards, build)
 	if err != nil {
 		return nil, err
 	}
 	var wlog *wal.Log
 	if s.walRoot != "" {
-		dir := filepath.Join(s.walRoot, name)
 		// A directory can exist here only if a drop crashed after its
 		// manifest rewrite and before its removal: the manifest no longer
 		// references it, so its contents belong to a dead instance.
-		if err := os.RemoveAll(dir); err != nil {
+		if err := os.RemoveAll(walDir); err != nil {
 			return nil, err
 		}
-		wlog, err = wal.Open(dir, wal.WithSyncEvery(s.cfg.WALSyncEvery), wal.WithSyncInterval(s.cfg.WALSyncInterval))
+		wlog, err = wal.Open(walDir, wal.WithSyncEvery(s.cfg.WALSyncEvery), wal.WithSyncInterval(s.cfg.WALSyncInterval))
 		if err != nil {
 			return nil, err
 		}
@@ -132,6 +135,10 @@ type collectionInfo struct {
 	// collection is durable; its append/checkpoint deltas are the
 	// replay-on-crash lag.
 	WAL *walStatsJSON `json:"wal,omitempty"`
+	// Storage reports the paged (snapshot v3) storage state of a durable
+	// collection: mapping size, dirt awaiting the next incremental
+	// checkpoint, checkpoint page economy.
+	Storage *storageStatsJSON `json:"storage,omitempty"`
 	// Admission is this collection's carve of the shared capacity; absent
 	// for unthrottled collections.
 	Admission *admit.Stats `json:"admission,omitempty"`
@@ -164,6 +171,7 @@ func (s *Server) info(c *Collection) collectionInfo {
 	if c.wal != nil {
 		ci.WAL = &walStatsJSON{Dir: c.wal.Dir(), Replayed: c.walReplayed, Stats: c.wal.Stats()}
 	}
+	ci.Storage = c.storageStats()
 	if c.admission != nil {
 		a := c.admission.Stats()
 		ci.Admission = &a

@@ -96,6 +96,18 @@ type Config struct {
 
 	CacheEntries int // query-result cache capacity (0 disables)
 
+	// Mmap serves v3 (paged) checkpoints through a read-only memory mapping
+	// of the page file instead of decoding them to the heap: cold start does
+	// no per-ranking work and rarely-touched collections stay in page cache,
+	// not RSS. cmd/topkserve sets it from -mmap (default true); the false
+	// escape hatch reads the file whole and verifies every page checksum.
+	Mmap bool
+	// SpillEpochs makes hybrid epoch builds write their ranking arena to an
+	// unlinked paged temp file and mmap it (see topk.WithHybridSpill);
+	// durable collections spill next to their WAL, the rest to the OS temp
+	// directory.
+	SpillEpochs bool
+
 	// SetFlags holds the flag names explicitly passed on the command line
 	// (flag.Visit), for fail-fast validation of kind-specific knobs. Nil
 	// skips that validation (the programmatic-construction path).
@@ -252,31 +264,18 @@ func (s *Server) bootstrap() error {
 }
 
 // recoverCollection rebuilds one manifest entry from its WAL directory:
-// newest checkpoint (if any) as the base, logged suffix replayed on top.
+// newest checkpoint (if any) as the base — a v3 footer opens over the
+// shared page file, mmapped unless -mmap=false — with the logged suffix
+// replayed on top and recorded in the slot tracker, so the first incremental
+// checkpoint after a restart rewrites exactly the replayed slots' pages.
 func (s *Server) recoverCollection(e manifestEntry) (*Collection, error) {
 	dir := filepath.Join(s.walRoot, e.Name)
-	var (
-		rankings []ranking.Ranking
-		cpSeq    uint64
-	)
-	seq, cpPath, err := wal.LatestCheckpoint(dir)
+	rankings, cpSeq, base, err := loadCheckpoint(dir, s.cfg.Mmap)
 	if err != nil {
 		return nil, err
 	}
-	if cpPath != "" {
-		f, err := os.Open(cpPath)
-		if err != nil {
-			return nil, err
-		}
-		rankings, err = persist.ReadCollection(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("wal checkpoint %s: %w", cpPath, err)
-		}
-		cpSeq = seq
-	}
 	opts := e.Options
-	build := builderFor(opts.Kind, opts.MaxTheta, opts.ForceBackend, opts.Calibrate, opts.DeltaRatio)
+	build := builderFor(opts.Kind, opts.MaxTheta, opts.ForceBackend, opts.Calibrate, opts.DeltaRatio, s.spillDirFor(dir))
 	var sh *shard.Sharded
 	if len(rankings) == 0 {
 		sh, err = shard.NewEmpty(opts.Shards, build)
@@ -286,7 +285,13 @@ func (s *Server) recoverCollection(e manifestEntry) (*Collection, error) {
 	if err != nil {
 		return nil, err
 	}
-	replayed, err := recoverWAL(dir, cpSeq, sh, s.cfg.logw())
+	tr := persist.NewSlotTracker()
+	if base == nil {
+		// No v3 footer to checkpoint incrementally against (fresh directory
+		// or a v2 base): the first checkpoint must write everything.
+		tr.MarkAll()
+	}
+	replayed, err := recoverWAL(dir, cpSeq, sh, tr, s.cfg.logw())
 	if err != nil {
 		return nil, err
 	}
@@ -295,8 +300,28 @@ func (s *Server) recoverCollection(e manifestEntry) (*Collection, error) {
 		return nil, err
 	}
 	c := newCollection(e.Name, s.nextCacheScope(e.Name), opts, sh, wlog, replayed, s.admission, s.cfg.MaxQueueWait)
+	c.attachStorage(tr, base)
 	c.created = e.Created
 	return c, nil
+}
+
+// spillDirFor resolves where a collection's hybrid epochs spill: next to its
+// WAL when durable, the OS temp directory otherwise, "" (no spilling) unless
+// -spill-epochs is on. The WAL directory is created here because the index
+// (and with it the first epoch's spill file) is built before wal.Open would
+// create it — on a collection's first boot the directory does not exist yet
+// and the spill would silently fall back to the heap.
+func (s *Server) spillDirFor(walDir string) string {
+	if !s.cfg.SpillEpochs {
+		return ""
+	}
+	if walDir != "" {
+		if err := os.MkdirAll(walDir, 0o755); err != nil {
+			return os.TempDir()
+		}
+		return walDir
+	}
+	return os.TempDir()
 }
 
 // buildDefaultCollection resolves the flag-defined collection exactly the
@@ -312,7 +337,7 @@ func (s *Server) buildDefaultCollection() (*Collection, error) {
 	if walDir == "" && s.walRoot != "" && mutableKind(cfg.Kind) {
 		walDir = filepath.Join(s.walRoot, cfg.DefaultCollection)
 	}
-	rankings, cpSeq, err := loadBase(cfg.DataPath, cfg.SnapshotPath, walDir, logw)
+	rankings, cpSeq, base, err := loadBase(cfg.DataPath, cfg.SnapshotPath, walDir, cfg.Mmap, logw)
 	switch {
 	case errors.Is(err, errNoSource) && s.walRoot != "" && mutableKind(cfg.Kind):
 		rankings = nil // start empty; inserts define the ranking size
@@ -329,7 +354,7 @@ func (s *Server) buildDefaultCollection() (*Collection, error) {
 		}
 	}
 	start := time.Now()
-	build := builderFor(cfg.Kind, cfg.MaxTheta, cfg.ForceBackend, cfg.Calibrate, cfg.DeltaRatio)
+	build := builderFor(cfg.Kind, cfg.MaxTheta, cfg.ForceBackend, cfg.Calibrate, cfg.DeltaRatio, s.spillDirFor(walDir))
 	var sh *shard.Sharded
 	if len(rankings) == 0 {
 		sh, err = shard.NewEmpty(cfg.Shards, build)
@@ -349,8 +374,12 @@ func (s *Server) buildDefaultCollection() (*Collection, error) {
 	}
 	var wlog *wal.Log
 	replayed := 0
+	tr := persist.NewSlotTracker()
+	if base == nil {
+		tr.MarkAll()
+	}
 	if walDir != "" {
-		if replayed, err = recoverWAL(walDir, cpSeq, sh, logw); err != nil {
+		if replayed, err = recoverWAL(walDir, cpSeq, sh, tr, logw); err != nil {
 			return nil, err
 		}
 		if wlog, err = wal.Open(walDir, wal.WithSyncEvery(cfg.WALSyncEvery), wal.WithSyncInterval(cfg.WALSyncInterval)); err != nil {
@@ -363,7 +392,11 @@ func (s *Server) buildDefaultCollection() (*Collection, error) {
 		Kind: cfg.Kind, Shards: cfg.Shards, MaxTheta: cfg.MaxTheta,
 		ForceBackend: cfg.ForceBackend, Calibrate: cfg.Calibrate, DeltaRatio: cfg.DeltaRatio,
 	}
-	return newCollection(cfg.DefaultCollection, s.nextCacheScope(cfg.DefaultCollection), opts, sh, wlog, replayed, s.admission, cfg.MaxQueueWait), nil
+	c := newCollection(cfg.DefaultCollection, s.nextCacheScope(cfg.DefaultCollection), opts, sh, wlog, replayed, s.admission, cfg.MaxQueueWait)
+	if wlog != nil {
+		c.attachStorage(tr, base)
+	}
+	return c, nil
 }
 
 // serveUntilShutdown runs srv on ln until ctx is cancelled, then drains: it
@@ -485,43 +518,84 @@ func serveDebug(addr string, logw io.Writer) error {
 // the classic single-collection startup keeps failing fast.
 var errNoSource = errors.New("missing -data or -load-snapshot")
 
+// pagedBase describes a v3 base checkpoint startup loaded: its footer (the
+// pager's incremental baseline) and, when mmapped, the retained collection
+// whose views alias the mapping.
+type pagedBase struct {
+	footer *persist.Footer
+	pc     *persist.PagedCollection
+}
+
+// loadCheckpoint loads the newest checkpoint of a WAL directory: the slot
+// array, the sequence to replay from, and — when the artifact is a v3
+// footer — the paged base state. (nil, 0, nil, nil) means the directory
+// holds no checkpoint. Monolithic .bin checkpoints go through the
+// bounds-validated whole-file reader; v3 footers open the shared page file,
+// mmapped when useMmap.
+func loadCheckpoint(walDir string, useMmap bool) ([]ranking.Ranking, uint64, *pagedBase, error) {
+	seq, cpPath, err := wal.LatestCheckpoint(walDir)
+	if err != nil || cpPath == "" {
+		return nil, 0, nil, err
+	}
+	if strings.HasSuffix(cpPath, persist.FooterSuffix) {
+		pc, ft, err := persist.OpenPagedDir(walDir, cpPath, useMmap)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("wal checkpoint %s: %w", cpPath, err)
+		}
+		return pc.Slots(), seq, &pagedBase{footer: ft, pc: pc}, nil
+	}
+	rankings, err := persist.ReadCollectionFile(cpPath)
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("wal checkpoint %s: %w", cpPath, err)
+	}
+	return rankings, seq, nil, nil
+}
+
 // loadBase resolves the collection the index is built from. With a WAL
 // directory that holds a checkpoint, the checkpoint wins — it reflects every
 // mutation up to its sequence, which -data/-load-snapshot predate; without
 // one the usual sources apply (both may be omitted only when a checkpoint
 // exists). Returns the sequence to replay the WAL from (0 = from the
-// beginning).
-func loadBase(dataPath, snapPath, walDir string, logw io.Writer) ([]ranking.Ranking, uint64, error) {
+// beginning) and the paged base state when the checkpoint was v3.
+func loadBase(dataPath, snapPath, walDir string, useMmap bool, logw io.Writer) ([]ranking.Ranking, uint64, *pagedBase, error) {
 	if walDir != "" {
-		seq, cpPath, err := wal.LatestCheckpoint(walDir)
+		rankings, seq, base, err := loadCheckpoint(walDir, useMmap)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
-		if cpPath != "" {
-			f, err := os.Open(cpPath)
-			if err != nil {
-				return nil, 0, err
-			}
-			defer f.Close()
-			rankings, err := persist.ReadCollection(f)
-			if err != nil {
-				return nil, 0, fmt.Errorf("wal checkpoint %s: %w", cpPath, err)
-			}
+		if rankings != nil || base != nil || seq > 0 {
 			if dataPath != "" || snapPath != "" {
-				fmt.Fprintf(logw, "wal checkpoint %s supersedes -data/-load-snapshot\n", cpPath)
+				fmt.Fprintf(logw, "wal checkpoint (seq %d) supersedes -data/-load-snapshot\n", seq)
 			}
-			return rankings, seq, nil
+			return rankings, seq, base, nil
 		}
 	}
 	rankings, err := loadCollection(dataPath, snapPath)
-	return rankings, 0, err
+	return rankings, 0, nil, err
 }
 
 // recoverWAL replays the logged mutation suffix through the shard router so
 // every record lands in (and re-extends) the shard that owned it when it
-// was acked.
-func recoverWAL(walDir string, fromSeq uint64, sh *shard.Sharded, logw io.Writer) (int, error) {
-	st, err := wal.Replay(walDir, fromSeq, sh.Apply)
+// was acked, and mirrors each record into the slot tracker (tr may be nil)
+// so the first checkpoint after recovery knows exactly which pages the
+// replay dirtied.
+func recoverWAL(walDir string, fromSeq uint64, sh *shard.Sharded, tr *persist.SlotTracker, logw io.Writer) (int, error) {
+	st, err := wal.Replay(walDir, fromSeq, func(rec wal.Record) error {
+		if err := sh.Apply(rec); err != nil {
+			return err
+		}
+		if tr != nil {
+			switch rec.Op {
+			case wal.OpInsert:
+				tr.MarkInsert(int(rec.ID))
+			case wal.OpDelete:
+				tr.MarkDelete(int(rec.ID))
+			case wal.OpUpdate:
+				tr.MarkUpdate(int(rec.ID))
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		return st.Records, fmt.Errorf("wal recovery: %w", err)
 	}
@@ -621,7 +695,9 @@ func dropTombstones(slots []ranking.Ranking) ([]ranking.Ranking, int) {
 // builderFor returns the shard builder for an index kind name. Slot-capable
 // kinds build from slots so that tombstoned snapshot entries keep their ids
 // retired; the other kinds require a dense collection (see dropTombstones).
-func builderFor(kind string, maxTheta float64, force string, calibrate int, deltaRatio float64) shard.Builder {
+// spillDir, when non-empty, makes hybrid epoch arenas spill to mmapped paged
+// files under it (see topk.WithHybridSpill).
+func builderFor(kind string, maxTheta float64, force string, calibrate int, deltaRatio float64, spillDir string) shard.Builder {
 	return func(rs []ranking.Ranking) (shard.Index, error) {
 		switch kind {
 		case "hybrid":
@@ -634,6 +710,9 @@ func builderFor(kind string, maxTheta float64, force string, calibrate int, delt
 			}
 			if calibrate > 0 {
 				opts = append(opts, topk.WithHybridCalibration(calibrate))
+			}
+			if spillDir != "" {
+				opts = append(opts, topk.WithHybridSpill(spillDir))
 			}
 			return topk.NewHybridIndexFromSlots(rs, opts...)
 		case "coarse":

@@ -1,0 +1,361 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"topk/internal/difftest"
+	"topk/internal/persist"
+	"topk/internal/shard"
+	"topk/internal/wal"
+)
+
+// startPagedServer walks the full storage startup path — loadBase (footer
+// beats snapshot beats nothing), shard build, tracked WAL replay, and the
+// attachStorage wiring that pins a mapped base and seeds the pager — exactly
+// as buildDefaultCollection does.
+func startPagedServer(t *testing.T, kind, snapPath, walDir string, useMmap bool) *Server {
+	t.Helper()
+	rankings, cpSeq, base, err := loadBase("", snapPath, walDir, useMmap, io.Discard)
+	if err != nil {
+		t.Fatalf("loadBase: %v", err)
+	}
+	build := builderFor(kind, 0.3, "", 0, 0.25, "")
+	var sh *shard.Sharded
+	if len(rankings) == 0 {
+		sh, err = shard.NewEmpty(4, build)
+	} else {
+		sh, err = shard.New(rankings, 4, build)
+	}
+	if err != nil {
+		t.Fatalf("shard.New: %v", err)
+	}
+	tr := persist.NewSlotTracker()
+	if base == nil {
+		tr.MarkAll()
+	}
+	replayed, err := recoverWAL(walDir, cpSeq, sh, tr, io.Discard)
+	if err != nil {
+		t.Fatalf("recoverWAL: %v", err)
+	}
+	wlog, err := wal.Open(walDir)
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	s := newServer(nil, kind)
+	s.install(sh, wlog, replayed)
+	c := s.defColl()
+	c.attachStorage(tr, base)
+	c.walFatal = func(err error) { t.Fatalf("wal append failed: %v", err) }
+	return s
+}
+
+// emptySnapshot writes a v2 snapshot of an empty collection — the seed for
+// tests that want a server starting empty on the single-collection path.
+func emptySnapshot(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "empty.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := persist.WriteCollection(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func checkpointHTTP(t *testing.T, s *Server) checkpointResponse {
+	t.Helper()
+	rec := doJSON(t, s.routes(), http.MethodPost, "/checkpoint", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("checkpoint: %d %s", rec.Code, rec.Body)
+	}
+	var cp checkpointResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &cp); err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// TestV2CheckpointMigratesToPaged is the migration half of the back-compat
+// matrix: a collection loaded from a v2 snapshot checkpoints as a paged v3
+// footer, restart recovers from it through the mmap path, and the served
+// collection stays oracle-identical throughout.
+func TestV2CheckpointMigratesToPaged(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	snapPath := filepath.Join(dir, "base.bin")
+	// Big enough that the layout spans many pages (one flag page plus a
+	// dozen-plus arena pages at the default page size), so an incremental
+	// checkpoint has something to reuse.
+	cfg := difftest.RandomCollection(rand.New(rand.NewSource(61)), 20000, 10, 400)
+	f, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := persist.WriteCollection(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rng := rand.New(rand.NewSource(62))
+	o := difftest.NewOracle(cfg)
+	s1 := startPagedServer(t, "hybrid", snapPath, walDir, true)
+	mutateOverHTTP(t, s1.routes(), o, rng, 60, 400)
+
+	// First checkpoint on a v2-loaded collection: no previous footer, so it
+	// is a full write — and from then on the directory speaks v3.
+	cp := checkpointHTTP(t, s1)
+	if cp.PagesReused != 0 || cp.PagesWritten == 0 {
+		t.Fatalf("first checkpoint wrote %d pages, reused %d; want a full write", cp.PagesWritten, cp.PagesReused)
+	}
+	if _, cpPath, _ := wal.LatestCheckpoint(walDir); !strings.HasSuffix(cpPath, persist.FooterSuffix) {
+		t.Fatalf("checkpoint artifact %q is not a v3 footer", cpPath)
+	}
+	mutateOverHTTP(t, s1.routes(), o, rng, 40, 400)
+	stopWALServer(t, s1)
+
+	// Restart: base is now the paged footer (possibly mapped), plus replay
+	// of the post-checkpoint suffix.
+	s2 := startPagedServer(t, "hybrid", snapPath, walDir, true)
+	c := s2.defColl()
+	if c.paged == nil {
+		t.Fatal("restart did not recover from the paged checkpoint")
+	}
+	gotSlots, _ := c.sh.Slots()
+	if !slotsEqual(gotSlots, o.Slots()) {
+		t.Fatal("paged recovery diverged from the oracle slot-for-slot")
+	}
+	difftest.CheckSearch(t, "paged-recovery", c.sh, o, rng, 15, 400)
+
+	// A small burst now rewrites only the pages it touches.
+	mutateOverHTTP(t, s2.routes(), o, rng, 5, 400)
+	cp2 := checkpointHTTP(t, s2)
+	if cp2.PagesWritten == 0 || cp2.PagesWritten > 12 {
+		t.Fatalf("5-op burst rewrote %d pages; want a handful", cp2.PagesWritten)
+	}
+	if cp2.PagesReused == 0 {
+		t.Fatalf("incremental checkpoint reused no pages (wrote %d)", cp2.PagesWritten)
+	}
+	if cp2.Bytes != int64(cp2.PagesWritten)*int64(persist.DefaultPageSize) {
+		t.Fatalf("bytes=%d does not match %d written pages", cp2.Bytes, cp2.PagesWritten)
+	}
+	stopWALServer(t, s2)
+
+	// Third generation: recover from the incremental footer.
+	s3 := startPagedServer(t, "hybrid", snapPath, walDir, true)
+	gotSlots, _ = s3.defColl().sh.Slots()
+	if !slotsEqual(gotSlots, o.Slots()) {
+		t.Fatal("recovery from the incremental checkpoint diverged from the oracle")
+	}
+	stopWALServer(t, s3)
+}
+
+// copyDir clones a WAL directory so two recovery paths can run over the
+// same history.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMmapRecoveryMatchesReplayDifferential is the byte-identity acceptance
+// criterion: after a 1k-op history, a server recovered through the mmapped
+// v3 checkpoint must serve exactly what the other recovery paths serve.
+// Against a v2-decode restart (same full-base build) results AND
+// DistanceCalls must match exactly; against a pure WAL replay restart —
+// whose index carries the history as a delta overlay, so its scan costs
+// legitimately differ — the slot array and every result must still match.
+func TestMmapRecoveryMatchesReplayDifferential(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	rng := rand.New(rand.NewSource(63))
+	cfg := difftest.RandomCollection(rng, 200, 10, 150)
+	o := difftest.NewOracle(cfg)
+	seed := emptySnapshot(t, dir)
+
+	s1 := startPagedServer(t, "inverted", seed, walDir, true)
+	for id, r := range cfg { // seed through the handlers so the WAL has it all
+		rec := doJSON(t, s1.routes(), http.MethodPost, "/insert", map[string]any{"ranking": r})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("seed insert %d: %d %s", id, rec.Code, rec.Body)
+		}
+	}
+	mutateOverHTTP(t, s1.routes(), o, rng, 1000, 150)
+	stopWALServer(t, s1)
+
+	// Clone the history BEFORE any checkpoint exists: the clone recovers by
+	// replay alone, the original through the paged checkpoint.
+	replayDir := filepath.Join(dir, "wal-replay")
+	copyDir(t, walDir, replayDir)
+
+	// From one recovered server, cut the same state both ways: a monolithic
+	// v2 snapshot and a paged v3 checkpoint.
+	s2 := startPagedServer(t, "inverted", seed, walDir, true)
+	v2Path := filepath.Join(dir, "state-v2.bin")
+	slots2, ok := s2.defColl().sh.Slots()
+	if !ok {
+		t.Fatal("no slot view")
+	}
+	f, err := os.Create(v2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := persist.WriteCollection(f, slots2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	checkpointHTTP(t, s2)
+	stopWALServer(t, s2)
+
+	mm := startPagedServer(t, "inverted", seed, walDir, true)
+	if mm.defColl().paged == nil {
+		t.Fatal("checkpointed directory did not recover through the paged path")
+	}
+	v2srv := startPagedServer(t, "inverted", v2Path, filepath.Join(dir, "wal-v2"), true)
+	rp := startPagedServer(t, "inverted", seed, replayDir, true)
+	if rp.defColl().paged != nil {
+		t.Fatal("replay clone unexpectedly found a checkpoint")
+	}
+	if rp.defColl().walReplayed == 0 {
+		t.Fatal("replay clone replayed nothing")
+	}
+
+	mmSlots, _ := mm.defColl().sh.Slots()
+	v2Slots, _ := v2srv.defColl().sh.Slots()
+	rpSlots, _ := rp.defColl().sh.Slots()
+	if !slotsEqual(mmSlots, v2Slots) || !slotsEqual(mmSlots, rpSlots) || !slotsEqual(mmSlots, o.Slots()) {
+		t.Fatal("recovery paths disagree on the slot array")
+	}
+
+	for i := 0; i < 30; i++ {
+		q := difftest.RandomRanking(rng, o.K(), 150)
+		theta := []float64{0.05, 0.15, 0.3}[i%3]
+		mmBefore, v2Before := mm.defColl().sh.DistanceCalls(), v2srv.defColl().sh.DistanceCalls()
+		mmRes, err1 := mm.defColl().sh.Search(q, theta)
+		v2Res, err2 := v2srv.defColl().sh.Search(q, theta)
+		rpRes, err3 := rp.defColl().sh.Search(q, theta)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("query %d: %v / %v / %v", i, err1, err2, err3)
+		}
+		if len(mmRes) != len(v2Res) || len(mmRes) != len(rpRes) {
+			t.Fatalf("query %d: %d vs %d vs %d results", i, len(mmRes), len(v2Res), len(rpRes))
+		}
+		for j := range mmRes {
+			if mmRes[j] != v2Res[j] || mmRes[j] != rpRes[j] {
+				t.Fatalf("query %d result %d: mmap %+v, v2 %+v, replay %+v", i, j, mmRes[j], v2Res[j], rpRes[j])
+			}
+		}
+		mmCalls := mm.defColl().sh.DistanceCalls() - mmBefore
+		v2Calls := v2srv.defColl().sh.DistanceCalls() - v2Before
+		if mmCalls != v2Calls {
+			t.Fatalf("query %d: mmap recovery spent %d distance calls, v2 decode %d", i, mmCalls, v2Calls)
+		}
+	}
+	stopWALServer(t, mm)
+	stopWALServer(t, v2srv)
+	stopWALServer(t, rp)
+}
+
+// TestStorageStatsAndMetrics: /stats grows a storage section and /metrics
+// the paged-storage families once a collection has a tracker.
+func TestStorageStatsAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	rng := rand.New(rand.NewSource(64))
+	// Page-reuse assertions need a multi-page layout: 20000 slots at k=10 is
+	// one flag page plus 13 arena pages.
+	cfg := difftest.RandomCollection(rng, 20000, 10, 400)
+	o := difftest.NewOracle(cfg)
+	snapPath := filepath.Join(dir, "base.bin")
+	f, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := persist.WriteCollection(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s := startPagedServer(t, "hybrid", snapPath, walDir, true)
+	defer stopWALServer(t, s)
+	checkpointHTTP(t, s)
+	mutateOverHTTP(t, s.routes(), o, rng, 7, 400)
+
+	rec := doJSON(t, s.routes(), http.MethodGet, "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d %s", rec.Code, rec.Body)
+	}
+	var st struct {
+		Storage *storageStatsJSON `json:"storage"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Storage == nil {
+		t.Fatalf("stats has no storage section: %s", rec.Body)
+	}
+	if st.Storage.DirtySlots == 0 || st.Storage.DirtyPages == 0 {
+		t.Fatalf("storage stats show no dirt after 7 mutations: %+v", st.Storage)
+	}
+	if st.Storage.CheckpointPagesWritten == 0 || st.Storage.CheckpointBytesWritten == 0 {
+		t.Fatalf("storage stats lost the checkpoint counters: %+v", st.Storage)
+	}
+
+	rec = doJSON(t, s.routes(), http.MethodGet, "/metrics", nil)
+	body := rec.Body.String()
+	for _, family := range []string{
+		"topkserve_storage_dirty_slots",
+		"topkserve_storage_dirty_pages",
+		"topkserve_storage_mapped_bytes",
+		"topkserve_storage_checkpoint_pages_total",
+		"topkserve_storage_checkpoint_bytes_total",
+	} {
+		if !strings.Contains(body, family) {
+			t.Fatalf("/metrics lacks %s", family)
+		}
+	}
+	if !strings.Contains(body, `result="written"`) || !strings.Contains(body, `result="reused"`) {
+		t.Fatal("/metrics checkpoint counters lack the result label")
+	}
+
+	// A second checkpoint drains the dirt and bumps the reuse counters.
+	cp := checkpointHTTP(t, s)
+	if cp.PagesReused == 0 {
+		t.Fatalf("second checkpoint reused nothing: %+v", cp)
+	}
+	rec = doJSON(t, s.routes(), http.MethodGet, "/stats", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Storage.DirtySlots != 0 {
+		t.Fatalf("checkpoint left %d dirty slots behind", st.Storage.DirtySlots)
+	}
+	if st.Storage.CheckpointPagesReused == 0 {
+		t.Fatalf("cumulative reuse counter still zero: %+v", st.Storage)
+	}
+}

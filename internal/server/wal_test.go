@@ -30,15 +30,19 @@ import (
 // the WAL suffix, open the log for appending.
 func startWALServer(t *testing.T, kind, snapPath, walDir string) *Server {
 	t.Helper()
-	rankings, cpSeq, err := loadBase("", snapPath, walDir, io.Discard)
+	rankings, cpSeq, base, err := loadBase("", snapPath, walDir, true, io.Discard)
 	if err != nil {
 		t.Fatalf("loadBase: %v", err)
 	}
-	sh, err := shard.New(rankings, 4, builderFor(kind, 0.3, "", 0, 0.25))
+	sh, err := shard.New(rankings, 4, builderFor(kind, 0.3, "", 0, 0.25, ""))
 	if err != nil {
 		t.Fatalf("shard.New: %v", err)
 	}
-	replayed, err := recoverWAL(walDir, cpSeq, sh, io.Discard)
+	tr := persist.NewSlotTracker()
+	if base == nil {
+		tr.MarkAll()
+	}
+	replayed, err := recoverWAL(walDir, cpSeq, sh, tr, io.Discard)
 	if err != nil {
 		t.Fatalf("recoverWAL: %v", err)
 	}

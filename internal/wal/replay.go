@@ -29,8 +29,9 @@ type ReplayStats struct {
 }
 
 // LatestCheckpoint returns the sequence and path of the newest checkpoint
-// in dir, or (0, "") when the directory holds none (including when it does
-// not exist yet).
+// in dir — a monolithic checkpoint-<seq>.bin or a paged checkpoint footer
+// checkpoint-<seq>.v3f (callers branch on the suffix) — or (0, "") when
+// the directory holds none (including when it does not exist yet).
 func LatestCheckpoint(dir string) (uint64, string, error) {
 	_, cps, err := scan(dir)
 	if os.IsNotExist(err) {
@@ -39,11 +40,12 @@ func LatestCheckpoint(dir string) (uint64, string, error) {
 	if err != nil {
 		return 0, "", err
 	}
-	if len(cps) == 0 {
-		return 0, "", nil
+	for i := len(cps) - 1; i >= 0; i-- {
+		if p := resolveCheckpointPath(dir, cps[i]); p != "" {
+			return cps[i], p, nil
+		}
 	}
-	seq := cps[len(cps)-1]
-	return seq, checkpointPath(dir, seq), nil
+	return 0, "", nil
 }
 
 // Replay streams every record of the segments with sequence ≥ from through

@@ -19,6 +19,12 @@
 //	                              segment 2 (written atomically; segments
 //	                              below its sequence are deleted after it
 //	                              lands)
+//	checkpoint-0000000000000003.v3f  the paged form of the same artifact:
+//	                              an incremental-checkpoint footer whose
+//	                              pages live in the shared page file
+//	pages.v3                      shared physical pages of every .v3f
+//	                              checkpoint (shadow-paged, see
+//	                              persist.Pager); never truncated
 //
 // Each segment starts with a 20-byte header (magic, version, sequence) and
 // continues with records framed as
@@ -231,18 +237,39 @@ func segmentPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", seq))
 }
 
-// checkpointPath names checkpoint seq's file.
+// checkpointPath names checkpoint seq's monolithic (v2) file.
 func checkpointPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("checkpoint-%016x.bin", seq))
 }
 
+// footerPath names checkpoint seq's incremental (paged v3) footer file,
+// whose pages live in the shared pages.v3 next to it.
+func footerPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%016x.v3f", seq))
+}
+
+// resolveCheckpointPath returns whichever artifact exists for checkpoint
+// seq — the paged footer wins over the monolithic file — or "" if neither
+// does.
+func resolveCheckpointPath(dir string, seq uint64) string {
+	for _, p := range []string{footerPath(dir, seq), checkpointPath(dir, seq)} {
+		if _, err := os.Stat(p); err == nil {
+			return p
+		}
+	}
+	return ""
+}
+
 // scan lists segment and checkpoint sequence numbers present in dir,
-// ascending.
+// ascending. Checkpoints cover both the monolithic .bin form and the
+// paged .v3f footer form; the shared pages.v3 file is not a sequenced
+// artifact and is never listed (and so never truncated).
 func scan(dir string) (segs, cps []uint64, err error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
+	seen := make(map[uint64]bool)
 	for _, e := range ents {
 		name := e.Name()
 		switch {
@@ -251,7 +278,13 @@ func scan(dir string) (segs, cps []uint64, err error) {
 				segs = append(segs, seq)
 			}
 		case strings.HasPrefix(name, "checkpoint-") && strings.HasSuffix(name, ".bin"):
-			if seq, ok := parseSeq(name, "checkpoint-", ".bin"); ok {
+			if seq, ok := parseSeq(name, "checkpoint-", ".bin"); ok && !seen[seq] {
+				seen[seq] = true
+				cps = append(cps, seq)
+			}
+		case strings.HasPrefix(name, "checkpoint-") && strings.HasSuffix(name, ".v3f"):
+			if seq, ok := parseSeq(name, "checkpoint-", ".v3f"); ok && !seen[seq] {
+				seen[seq] = true
 				cps = append(cps, seq)
 			}
 		}
@@ -497,7 +530,27 @@ func (l *Log) Checkpoint(seq uint64, write func(f *os.File) error) error {
 	if err := syncDir(l.dir); err != nil {
 		return err
 	}
-	// The checkpoint is durable; everything below it is now redundant.
+	return l.truncateBelow(seq)
+}
+
+// CheckpointPaged is the incremental-checkpoint variant of Checkpoint: the
+// install func (typically persist.Pager.WriteCheckpoint) writes only the
+// dirty pages into the directory's shared pages.v3 and atomically installs
+// the checkpoint-<seq>.v3f footer; afterwards the log truncates segments
+// and checkpoint artifacts below seq exactly as Checkpoint does. pages.v3
+// itself is never truncated — superseded footers' pages return to the
+// pager's free list instead.
+func (l *Log) CheckpointPaged(seq uint64, install func(dir string) error) error {
+	if err := install(l.dir); err != nil {
+		return err
+	}
+	return l.truncateBelow(seq)
+}
+
+// truncateBelow removes the segments and checkpoint artifacts a durable
+// checkpoint at seq supersedes (both .bin and .v3f forms), then updates
+// the checkpoint counters.
+func (l *Log) truncateBelow(seq uint64) error {
 	segs, cps, err := scan(l.dir)
 	if err != nil {
 		return err
@@ -513,8 +566,10 @@ func (l *Log) Checkpoint(seq uint64, write func(f *os.File) error) error {
 	}
 	for _, c := range cps {
 		if c < seq {
-			if err := os.Remove(checkpointPath(l.dir, c)); err != nil {
-				return err
+			for _, p := range []string{checkpointPath(l.dir, c), footerPath(l.dir, c)} {
+				if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+					return err
+				}
 			}
 		}
 	}
